@@ -1,0 +1,27 @@
+"""Ablation benchmark: the alpha sizing rule (Section 3.2.5).
+
+The rule picks a statistics grid "fine enough" for the requested l; the
+check is stability — once alpha reaches the rule's value, refining it
+further must not change the achievable error materially.
+"""
+
+from repro.core import auto_alpha
+from repro.experiments import run_ablation_alpha_rule
+
+ALPHAS = (8, 32, 64)
+
+
+def test_ablation_alpha_rule(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ablation_alpha_rule(scale=bench_scale, alphas=ALPHAS, z=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    errors = result.get_series("E_rr^C").y
+    rule_alpha = auto_alpha(bench_scale.l)
+    assert ALPHAS[0] <= rule_alpha <= ALPHAS[-1]
+    # Stability at/after the rule's alpha: the alpha=32 and alpha=64
+    # errors agree (further refinement changes nothing)...
+    assert abs(errors[1] - errors[2]) <= 0.25 * max(errors[1], errors[2], 1e-9)
+    # ...and no sweep point is wildly off from the others.
+    assert max(errors) <= 1.5 * min(errors) + 1e-9

@@ -1,0 +1,31 @@
+"""Ablation benchmark: the speed factor's effect (Section 3.1.2).
+
+At bench scale both budget models track z within a few percent; the
+speed-corrected model spends its (equal) budget more effectively —
+charging fast regions their true update cost lets it buy accuracy where
+updates are cheap — so it achieves equal-or-lower query error.
+"""
+
+import numpy as np
+
+from repro.experiments import run_ablation_speed_factor
+
+ZS = (0.5, 0.75)
+
+
+def test_ablation_speed_factor(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ablation_speed_factor(scale=bench_scale, zs=ZS),
+        rounds=1,
+        iterations=1,
+    )
+    with_speed = np.array(result.get_series("sent ratio (with speed)").y)
+    without = np.array(result.get_series("sent ratio (without speed)").y)
+    targets = np.array(ZS)
+    # Both budget models must track the throttle fraction closely.
+    assert np.abs(with_speed - targets).max() < 0.05
+    assert np.abs(without - targets).max() < 0.05
+    # The speed-corrected model must not lose accuracy for its budget.
+    err_with = np.array(result.get_series("E_rr^C (with speed)").y)
+    err_without = np.array(result.get_series("E_rr^C (without speed)").y)
+    assert err_with.mean() <= err_without.mean() * 1.1

@@ -1,0 +1,99 @@
+"""Micro-benchmarks of LIRA's core operators.
+
+Not paper artifacts — performance tracking for the library's hot paths:
+statistics-grid construction, hierarchy aggregation, GRIDREDUCE,
+GREEDYINCREMENT, plan lookup, and the vectorized dead-reckoning fleet.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LiraConfig,
+    RegionHierarchy,
+    StatisticsGrid,
+    greedy_increment,
+    grid_reduce,
+)
+from repro.motion import DeadReckoningFleet
+
+
+@pytest.fixture(scope="module")
+def scene(bench_scale):
+    scenario = bench_scale.scenario()
+    trace = scenario.trace
+    grid = StatisticsGrid.from_snapshot(
+        trace.bounds, bench_scale.alpha, trace.snapshot(0), trace.speeds(0),
+        scenario.queries,
+    )
+    reduction = scenario.reduction.piecewise(95)
+    return scenario, trace, grid, reduction
+
+
+def test_statistics_grid_build(benchmark, scene, bench_scale):
+    scenario, trace, _, _ = scene
+    grid = benchmark(
+        StatisticsGrid.from_snapshot,
+        trace.bounds,
+        bench_scale.alpha,
+        trace.snapshot(0),
+        trace.speeds(0),
+        scenario.queries,
+    )
+    assert grid.total_nodes == trace.num_nodes
+
+
+def test_hierarchy_aggregation(benchmark, scene):
+    _, _, grid, _ = scene
+    hierarchy = benchmark(RegionHierarchy, grid)
+    assert hierarchy.root.n == pytest.approx(grid.total_nodes)
+
+
+def test_gridreduce(benchmark, scene, bench_scale):
+    _, _, grid, reduction = scene
+    hierarchy = RegionHierarchy(grid)
+    result = benchmark(
+        grid_reduce, hierarchy, bench_scale.l, 0.5, reduction
+    )
+    assert result.num_regions == bench_scale.l
+
+
+def test_greedy_increment(benchmark, scene, bench_scale):
+    _, _, grid, reduction = scene
+    hierarchy = RegionHierarchy(grid)
+    regions = grid_reduce(hierarchy, bench_scale.l, 0.5, reduction).regions
+    result = benchmark(
+        greedy_increment, regions, reduction, 0.5, fairness=50.0
+    )
+    assert result.budget_met
+
+
+def test_plan_threshold_lookup(benchmark, scene, bench_scale):
+    from repro.core import LiraLoadShedder, AnalyticReduction
+
+    scenario, trace, grid, _ = scene
+    shedder = LiraLoadShedder(
+        LiraConfig(l=bench_scale.l, alpha=bench_scale.alpha, z=0.5),
+        AnalyticReduction(5.0, 100.0),
+    )
+    plan = shedder.adapt(grid)
+    positions = trace.snapshot(0)
+    thresholds = benchmark(plan.thresholds_for, positions)
+    assert thresholds.shape == (trace.num_nodes,)
+
+
+def test_dead_reckoning_fleet_tick(benchmark, scene):
+    _, trace, _, _ = scene
+    fleet = DeadReckoningFleet(trace.num_nodes)
+    fleet.set_thresholds(20.0)
+    fleet.observe(0.0, trace.positions[0], trace.velocities[0])
+
+    tick_holder = {"t": 1}
+
+    def one_tick():
+        t = tick_holder["t"] % trace.num_ticks
+        fleet.observe(t * trace.dt, trace.positions[t], trace.velocities[t])
+        tick_holder["t"] += 1
+
+    benchmark(one_tick)
+    assert fleet.total_reports >= trace.num_nodes

@@ -1,0 +1,22 @@
+"""Extension benchmark: re-evaluation work and delta retention."""
+
+from repro.experiments import run_ext_reeval
+
+ZS = (1.0, 0.5)
+
+
+def test_ext_reeval_delta_retention(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ext_reeval(scale=bench_scale, zs=ZS),
+        rounds=1,
+        iterations=1,
+    )
+    lira_updates = result.get_series("lira updates").y
+    lira_deltas = result.get_series("lira deltas").y
+    uniform_deltas = result.get_series("uniform deltas").y
+    # Shedding halves the updates...
+    assert lira_updates[1] < 0.75 * lira_updates[0]
+    # ...but LIRA keeps the vast majority of result-changing deltas,
+    # and at least as many as Uniform Delta at the same budget.
+    assert lira_deltas[1] > 0.85 * lira_deltas[0]
+    assert lira_deltas[1] >= uniform_deltas[1] * 0.98

@@ -1,0 +1,20 @@
+"""Extension benchmark: LIRA vs safe-region monitoring."""
+
+from repro.experiments import run_ext_safe_region
+
+ZS = (0.5,)
+
+
+def test_ext_safe_region_tradeoff(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ext_safe_region(scale=bench_scale, zs=ZS),
+        rounds=1,
+        iterations=1,
+    )
+    lira_snap = result.get_series("LIRA snapshot E_rr^P (m)").y[0]
+    safe_snap = result.get_series("safe-region snapshot E_rr^P (m)").y[0]
+    # The related-work trade-off: safe-region monitoring leaves the
+    # population essentially untracked between queries.
+    assert safe_snap > 3 * lira_snap
+    # LIRA's snapshot error stays bounded by delta_max.
+    assert lira_snap <= 100.0

@@ -1,0 +1,16 @@
+"""Extension benchmark: sampled statistics maintenance."""
+
+from repro.experiments import run_ext_sampling
+
+RATES = (1.0, 0.1)
+
+
+def test_ext_sampling(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ext_sampling(scale=bench_scale, sampling_rates=RATES, z=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    errors = result.get_series("E_rr^C").y
+    # A 10% statistics sample must stay within 2x of full statistics.
+    assert errors[1] <= 2.0 * errors[0] + 1e-4

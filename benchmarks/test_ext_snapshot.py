@@ -1,0 +1,19 @@
+"""Extension benchmark: the fairness threshold's CQ-vs-snapshot trade-off."""
+
+from repro.experiments import run_ext_snapshot
+
+FAIRNESS = (0.0, 25.0, 95.0)
+
+
+def test_ext_snapshot_tradeoff(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_ext_snapshot(scale=bench_scale, fairness_values=FAIRNESS, z=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    cq = result.get_series("CQ E_rr^P (m)").y
+    snap = result.get_series("snapshot E_rr^P (m)").y
+    # Loosening fairness buys CQ accuracy...
+    assert cq[-1] < cq[0]
+    # ...at the cost of whole-population (snapshot) accuracy.
+    assert snap[-1] > snap[0]

@@ -1,0 +1,20 @@
+"""Benchmark: Figure 1 — the empirical update-reduction curve f(Δ)."""
+
+from repro.experiments import run_fig01
+
+
+def test_fig01_reduction_curve(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig01(scale=bench_scale, n_samples=10),
+        rounds=1,
+        iterations=1,
+    )
+    empirical = result.get_series("f empirical").y
+    # Paper shape: normalized at delta_min, non-increasing, steepest at
+    # the start, and substantially below 1 by delta_max.
+    assert empirical[0] == 1.0
+    assert all(a >= b - 1e-9 for a, b in zip(empirical, empirical[1:]))
+    first_drop = empirical[0] - empirical[1]
+    last_drop = empirical[-2] - empirical[-1]
+    assert first_drop > last_drop
+    assert empirical[-1] < 0.7

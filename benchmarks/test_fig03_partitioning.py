@@ -1,0 +1,21 @@
+"""Benchmark: Figure 3 — the (α, l)-partitioning's structure."""
+
+import numpy as np
+
+from repro.experiments import run_fig03
+
+
+def test_fig03_partitioning_structure(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig03(scale=bench_scale), rounds=1, iterations=1
+    )
+    counts = result.get_series("regions at level").y
+    mean_m = result.get_series("mean queries m").y
+    # The partitioning must be non-uniform (regions at multiple levels)...
+    assert sum(1 for c in counts if c > 0) >= 2
+    assert sum(counts) == bench_scale.l
+    # ...and the large kept regions must be query-poor relative to the
+    # most query-rich level (the paper's A_x example).
+    valid = [m for m in mean_m if not np.isnan(m)]
+    large_region_m = next(m for c, m in zip(counts, mean_m) if c > 0)
+    assert large_region_m <= max(valid) + 1e-12

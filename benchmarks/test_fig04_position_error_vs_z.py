@@ -1,0 +1,28 @@
+"""Benchmark: Figure 4 — mean position error vs z, proportional queries."""
+
+from repro.experiments.zsweep import run_zsweep
+from repro.queries import QueryDistribution
+
+ZS = (0.5, 0.75)
+
+
+def test_fig04_position_error_vs_z(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_zsweep(
+            "mean_position_error", QueryDistribution.PROPORTIONAL, bench_scale, ZS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lira = result.get_series("lira abs").y
+    grid = result.get_series("lira-grid abs").y
+    uniform = result.get_series("uniform abs").y
+    drop = result.get_series("random-drop abs").y
+    for k in range(len(ZS)):
+        # Paper ordering at every z: LIRA <= Lira-Grid-ish < Uniform < Drop.
+        assert lira[k] < uniform[k] < drop[k]
+        assert grid[k] < uniform[k]
+    # Errors grow as the budget shrinks.
+    assert lira[0] >= lira[1]
+    # Random Drop is an order of magnitude worse at generous budgets.
+    assert drop[1] > 10 * lira[1]

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 5 — mean containment error vs z, proportional queries."""
+
+from repro.experiments.zsweep import run_zsweep
+from repro.queries import QueryDistribution
+
+ZS = (0.5, 0.75)
+
+
+def test_fig05_containment_error_vs_z(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_zsweep(
+            "mean_containment_error", QueryDistribution.PROPORTIONAL, bench_scale, ZS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lira = result.get_series("lira abs").y
+    uniform = result.get_series("uniform abs").y
+    drop = result.get_series("random-drop abs").y
+    for k in range(len(ZS)):
+        assert lira[k] < uniform[k] < drop[k]
+    # Containment error falls as z grows (more budget).
+    assert lira[0] >= lira[1]
+    assert drop[0] > drop[1]

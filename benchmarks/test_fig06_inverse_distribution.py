@@ -1,0 +1,23 @@
+"""Benchmark: Figure 6 — containment error vs z, inverse query distribution."""
+
+from repro.experiments.zsweep import run_zsweep
+from repro.queries import QueryDistribution
+
+ZS = (0.5, 0.75)
+
+
+def test_fig06_inverse_distribution(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_zsweep(
+            "mean_containment_error", QueryDistribution.INVERSE, bench_scale, ZS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lira = result.get_series("lira abs").y
+    drop = result.get_series("random-drop abs").y
+    uniform = result.get_series("uniform abs").y
+    for k in range(len(ZS)):
+        # LIRA still wins under the adversarial (inverse) distribution.
+        assert lira[k] <= uniform[k]
+        assert lira[k] < drop[k]

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 7 — containment error vs z, random query distribution."""
+
+from repro.experiments.zsweep import run_zsweep
+from repro.queries import QueryDistribution
+
+ZS = (0.5, 0.75)
+
+
+def test_fig07_random_distribution(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_zsweep(
+            "mean_containment_error", QueryDistribution.RANDOM, bench_scale, ZS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lira = result.get_series("lira abs").y
+    drop = result.get_series("random-drop abs").y
+    uniform = result.get_series("uniform abs").y
+    for k in range(len(ZS)):
+        assert lira[k] <= uniform[k]
+        assert lira[k] < drop[k]

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 8 — Lira-Grid's error relative to LIRA vs l."""
+
+from repro.experiments import run_fig08
+
+LS = (4, 25, 100)
+
+
+def test_fig08_liragrid_vs_lira(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig08(scale=bench_scale, ls=LS, z=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    # At some moderate l the region-aware partitioning must beat the
+    # uniform grid for at least one distribution (ratio > 1); and the
+    # ratios must head toward ~1 as l grows (Lira-Grid catches up).
+    advantages = []
+    for series in result.series:
+        advantages.append(max(series.y))
+        assert series.y[-1] < max(series.y) * 1.5 + 1e-9  # no blow-up at large l
+    assert max(advantages) > 1.0

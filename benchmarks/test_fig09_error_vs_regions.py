@@ -1,0 +1,18 @@
+"""Benchmark: Figure 9 — LIRA's containment error vs number of regions."""
+
+from repro.experiments import run_fig09
+
+LS = (4, 25, 100)
+
+
+def test_fig09_error_vs_regions(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig09(scale=bench_scale, ls=LS, zs=(0.5, 0.75)),
+        rounds=1,
+        iterations=1,
+    )
+    for series in result.series:
+        # More regions help: the best error over the sweep is at l > 4,
+        # and the curve stabilizes rather than diverging.
+        assert min(series.y) <= series.y[0] + 1e-12
+        assert series.y[-1] <= series.y[0] * 1.25 + 1e-9

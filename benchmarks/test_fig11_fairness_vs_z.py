@@ -1,0 +1,26 @@
+"""Benchmark: Figure 11 — position error vs fairness threshold, by z."""
+
+import numpy as np
+
+from repro.experiments import run_fig11
+
+FAIRNESS = (10.0, 50.0, 95.0)
+
+
+def test_fig11_fairness_vs_z(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig11(
+            scale=bench_scale, fairness_values=FAIRNESS, zs=(0.5, 0.9)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    mid_z = result.get_series("z=0.5").y
+    high_z = result.get_series("z=0.9").y
+    # Looser fairness can only help (or not hurt) the optimizer.
+    assert mid_z[-1] <= mid_z[0] + 1e-9
+    # Sensitivity to fairness is larger at intermediate z than near z=1
+    # (paper: marginal sensitivity at the extremes).
+    mid_span = max(mid_z) - min(mid_z)
+    high_span = max(high_z) - min(high_z)
+    assert mid_span >= high_span - 1e-9

@@ -1,0 +1,22 @@
+"""Benchmark: Figure 12 — Uniform-Delta's error relative to LIRA, by m/n."""
+
+from repro.experiments import run_fig12
+
+LS = (25, 100)
+
+
+def test_fig12_query_node_ratio(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig12(
+            scale=bench_scale, ls=LS, mn_ratios=(0.01, 0.1), z=0.5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    sparse = result.get_series("m/n=0.01").y
+    dense = result.get_series("m/n=0.1").y
+    # LIRA's advantage over Uniform Delta is larger when queries are
+    # scarce (more query-free regions to shed from).
+    assert max(sparse) > max(dense)
+    # And LIRA still wins at m/n = 0.1 for some l.
+    assert max(dense) > 1.0

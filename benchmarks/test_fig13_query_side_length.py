@@ -1,0 +1,18 @@
+"""Benchmark: Figure 13 — error vs query side length parameter w."""
+
+from repro.experiments import run_fig13
+
+SIDES = (400.0, 1000.0, 2500.0)
+
+
+def test_fig13_query_side_length(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_fig13(scale=bench_scale, side_lengths=SIDES, z=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    pos = result.get_series("E_rr^P (m)").y
+    cont = result.get_series("E_rr^C").y
+    # Paper: position error rises with w, containment error falls.
+    assert pos[-1] > pos[0]
+    assert cont[-1] < cont[0]

@@ -1,0 +1,13 @@
+"""Benchmark: Table 1 — shedding preference by region characteristics."""
+
+from repro.experiments import run_table1
+
+
+def test_table1_quadrant_preference(benchmark):
+    result = benchmark(run_table1)
+    low_low, low_high, high_low, high_high = result.get_series("delta_i (m)").y
+    # Paper Table 1: high-n/low-m is the prime shedding target (check),
+    # low-n/high-m must be avoided (cross), and the diagonal orders as
+    # high/high > low/low.
+    assert high_low >= high_high >= low_low >= low_high
+    assert high_low > low_high  # strict separation of the extremes

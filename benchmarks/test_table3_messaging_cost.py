@@ -1,0 +1,18 @@
+"""Benchmark: Table 3 — shedding regions per base station vs radius."""
+
+from repro.experiments import run_table3
+
+RADII = (0.5, 1.0, 2.0)
+
+
+def test_table3_messaging_cost(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: run_table3(scale=bench_scale, radii_km=RADII, z=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    regions = result.get_series("regions per station").y
+    # Monotone in coverage radius, as in the paper's table.
+    assert regions[0] < regions[1] < regions[2]
+    # The density-dependent placement note must report a packet verdict.
+    assert "fits one packet" in result.notes

@@ -1,0 +1,90 @@
+"""Result-delta streaming: incremental CQ evaluation under load shedding.
+
+Mobile CQ systems do not recompute result sets from scratch — they
+stream *deltas* ("taxi 17 entered your range, taxi 4 left") to
+subscribers.  This example drives the incremental CQ engine with the
+update stream each shedding policy admits and shows LIRA's key systems
+property: it sheds the updates that would not have changed any result,
+so at half the update volume it still delivers almost every delta.
+
+Also demonstrates moving queries ("within 700 m of taxi 0") following
+their anchor across the city.
+
+Run:  python examples/delta_streaming.py
+"""
+
+import numpy as np
+
+from repro.core import LiraConfig, StatisticsGrid
+from repro.cq import IncrementalCQEngine, MovingRangeQuery
+from repro.sim import build_scenario, make_policies
+
+
+def drive(policy_name, scenario, z, adapt_every=20):
+    """Run one policy's admitted update stream through the CQ engine."""
+    from repro.motion import DeadReckoningFleet
+
+    trace = scenario.trace
+    config = LiraConfig(l=49, alpha=64)
+    policy = make_policies(scenario, config, include=(policy_name,))[policy_name]
+    engine = IncrementalCQEngine(trace.bounds, trace.num_nodes, scenario.queries)
+    engine.install_moving(MovingRangeQuery(900, anchor_node=0, side=700.0))
+    fleet = DeadReckoningFleet(trace.num_nodes)
+    anchor_moves = 0
+    for tick in range(trace.num_ticks):
+        t = tick * trace.dt
+        positions = trace.positions[tick]
+        if tick % adapt_every == 0:
+            grid = StatisticsGrid.from_snapshot(
+                trace.bounds, policy.alpha, positions, trace.speeds(tick),
+                scenario.queries,
+            )
+            policy.adapt(grid, z)
+        fleet.set_thresholds(policy.thresholds_for(positions))
+        for node_id in fleet.observe(t, positions, trace.velocities[tick]):
+            deltas = engine.apply_update(
+                t, int(node_id),
+                float(positions[node_id, 0]), float(positions[node_id, 1]),
+            )
+            anchor_moves += sum(1 for d in deltas if d.query_id == 900)
+    return engine, anchor_moves
+
+
+def main() -> None:
+    print("Building scenario...")
+    scenario = build_scenario(
+        n_nodes=1200, duration=900.0, side_meters=8000.0, mn_ratio=0.01, seed=17
+    )
+    z = 0.5
+    print(
+        f"{scenario.n_nodes} taxis, {len(scenario.queries)} static CQs + "
+        f"1 moving CQ anchored to taxi 0; throttle fraction z = {z}\n"
+    )
+    header = (
+        f"{'policy':<10} {'updates':>9} {'deltas':>8} {'yield':>7} "
+        f"{'moving-CQ deltas':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    baseline = None
+    for policy_name in ("lira", "uniform"):
+        engine, anchor_deltas = drive(policy_name, scenario, z)
+        stats = engine.stats
+        if baseline is None:
+            full_engine, _ = drive(policy_name, scenario, 1.0)
+            baseline = full_engine.stats.deltas_emitted
+        print(
+            f"{policy_name:<10} {stats.updates_processed:>9} "
+            f"{stats.deltas_emitted:>8} "
+            f"{stats.deltas_emitted / stats.updates_processed:>7.3f} "
+            f"{anchor_deltas:>17}"
+        )
+    print(
+        f"\nFull-accuracy (z=1) delta count: {baseline}. At z={z}, LIRA's "
+        "region-aware shedding discards mostly updates that changed no "
+        "result, so its delta yield per processed update is the highest."
+    )
+
+
+if __name__ == "__main__":
+    main()

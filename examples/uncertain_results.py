@@ -1,0 +1,84 @@
+"""Query results with guarantees: must/may semantics under LIRA.
+
+Because LIRA gives every node a *known* inaccuracy threshold (its
+region's update throttler), the server can report range-CQ results with
+guarantees instead of best-effort sets:
+
+* certain members   — inside the query no matter where the node really is;
+* possible members  — may be inside (believed position within Δ of it).
+
+This example runs a LIRA deployment, answers queries with both sets,
+and verifies the soundness sandwich certain ⊆ true ⊆ possible at every
+measurement — then shows how the guarantee degrades (possible set
+inflates) as the throttle fraction shrinks and thresholds grow.
+
+Run:  python examples/uncertain_results.py
+"""
+
+import numpy as np
+
+from repro.core import LiraConfig, StatisticsGrid
+from repro.index import NodeTable
+from repro.motion import DeadReckoningFleet
+from repro.queries import evaluate_with_uncertainty
+from repro.sim import build_scenario, make_policies
+
+
+def run_at(scenario, z):
+    trace = scenario.trace
+    policy = make_policies(
+        scenario, LiraConfig(l=49, alpha=64), include=("lira",)
+    )["lira"]
+    fleet = DeadReckoningFleet(trace.num_nodes)
+    table = NodeTable(trace.num_nodes)
+    sound = True
+    certain_sizes, possible_sizes, true_sizes = [], [], []
+    for tick in range(trace.num_ticks):
+        t = tick * trace.dt
+        positions = trace.positions[tick]
+        if tick % 20 == 0:
+            grid = StatisticsGrid.from_snapshot(
+                trace.bounds, 64, positions, trace.speeds(tick), scenario.queries
+            )
+            policy.adapt(grid, z)
+        thresholds = policy.thresholds_for(positions)
+        fleet.set_thresholds(thresholds)
+        senders = fleet.observe(t, positions, trace.velocities[tick])
+        table.ingest(t, senders, positions[senders], trace.velocities[tick][senders])
+        if tick < 3:
+            continue
+        believed = table.predict(t)
+        for query in scenario.queries:
+            truth = set(query.evaluate(positions).tolist())
+            result = evaluate_with_uncertainty(query, believed, thresholds)
+            certain = set(result.certain.tolist())
+            possible = set(result.possible.tolist())
+            sound &= certain <= truth <= possible
+            certain_sizes.append(len(certain))
+            possible_sizes.append(len(possible))
+            true_sizes.append(len(truth))
+    return sound, np.mean(certain_sizes), np.mean(true_sizes), np.mean(possible_sizes)
+
+
+def main() -> None:
+    print("Building scenario...")
+    scenario = build_scenario(
+        n_nodes=1200, duration=900.0, side_meters=8000.0, mn_ratio=0.015, seed=29
+    )
+    print(f"{scenario.n_nodes} nodes, {len(scenario.queries)} CQs\n")
+    header = f"{'z':>5} {'sound':>6} {'|certain|':>10} {'|true|':>8} {'|possible|':>11}"
+    print(header)
+    print("-" * len(header))
+    for z in (0.9, 0.5, 0.3):
+        sound, certain, true, possible = run_at(scenario, z)
+        print(f"{z:>5.1f} {str(sound):>6} {certain:>10.1f} {true:>8.1f} {possible:>11.1f}")
+    print(
+        "\nReading: the sandwich certain <= true <= possible held at every "
+        "tick (sound=True). Shrinking the budget widens the gap between "
+        "certain and possible — the price of shedding, made explicit "
+        "instead of silent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full replication kit: install, test, benchmark, regenerate the
+# paper's figures/tables, and write EXPERIMENTS.md.
+#
+# Usage: bash scripts/replicate.sh [scale]   (scale: small|medium|full)
+set -euo pipefail
+SCALE="${1:-medium}"
+cd "$(dirname "$0")/.."
+
+echo "== install =="
+pip install -e . --no-build-isolation || python setup.py develop
+
+echo "== unit / property / integration tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== benchmarks (shape assertions per figure/table) =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== regenerating every figure/table at scale=${SCALE} =="
+python scripts/generate_experiments_report.py --scale "${SCALE}" --out EXPERIMENTS.md
+
+echo "done: see EXPERIMENTS.md, test_output.txt, bench_output.txt"

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e . --no-build-isolation` works where PEP 660 editable
+builds are available; this file additionally enables the legacy
+`python setup.py develop` path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Package entry point: a quick orientation for `python -m repro`."""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — reproduction of LIRA (ICDE 2007)")
+    print()
+    print("Lightweight, region-aware update load shedding for mobile CQ systems.")
+    print()
+    print("Entry points:")
+    print("  python -m repro.experiments list        experiments (figures/tables)")
+    print("  python -m repro.experiments fig05       regenerate one figure")
+    print("  python examples/quickstart.py           policy comparison in ~30 s")
+    print("  bash scripts/replicate.sh medium        full replication kit")
+    print("  pytest tests/                           unit/property/integration tests")
+    print("  pytest benchmarks/ --benchmark-only     per-figure shape assertions")
+    print()
+    print("Docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/algorithms.md,")
+    print("      docs/reproduction.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""LIRA core: the paper's contribution.
+
+Exports the three algorithms (GRIDREDUCE, GREEDYINCREMENT, THROTLOOP),
+the statistics grid they operate on, the update-reduction function
+models, and the orchestrating :class:`LiraLoadShedder`.
+"""
+
+from repro.core.config import LiraConfig, auto_alpha
+from repro.core.diagnostics import render_density_map, render_plan_heatmap
+from repro.core.gridreduce import (
+    PartitioningResult,
+    calc_err_gain,
+    effective_region_count,
+    grid_reduce,
+    uniform_partitioning,
+)
+from repro.core.greedy import GreedyResult, RegionStats, greedy_increment
+from repro.core.plan import SheddingPlan, SheddingRegion
+from repro.core.quadtree import RegionHierarchy, RegionNode
+from repro.core.reduction import (
+    AnalyticReduction,
+    PiecewiseLinearReduction,
+    ReductionFunction,
+    measure_reduction_from_trace,
+)
+from repro.core.shedder import AdaptationReport, LiraLoadShedder
+from repro.core.statistics_grid import StatisticsGrid
+from repro.core.throtloop import ThrotLoop
+from repro.core.validation import PlanValidationReport, validate_plan
+
+__all__ = [
+    "AdaptationReport",
+    "AnalyticReduction",
+    "GreedyResult",
+    "LiraConfig",
+    "LiraLoadShedder",
+    "PartitioningResult",
+    "PiecewiseLinearReduction",
+    "PlanValidationReport",
+    "ReductionFunction",
+    "RegionHierarchy",
+    "RegionNode",
+    "RegionStats",
+    "SheddingPlan",
+    "SheddingRegion",
+    "StatisticsGrid",
+    "ThrotLoop",
+    "auto_alpha",
+    "calc_err_gain",
+    "effective_region_count",
+    "greedy_increment",
+    "grid_reduce",
+    "measure_reduction_from_trace",
+    "render_density_map",
+    "render_plan_heatmap",
+    "uniform_partitioning",
+    "validate_plan",
+]

@@ -1,0 +1,82 @@
+"""Configuration for the LIRA load shedder.
+
+Defaults mirror the paper's Table 2: l = 250 shedding regions, α = 128
+grid cells per side, z = 0.5, Δ⊢ = 5 m, Δ⊣ = 100 m, c_Δ = 1 m,
+Δ⇔ = 50 m.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def auto_alpha(l: int, x: float = 10.0) -> int:
+    """The paper's α sizing rule: ``α = 2^⌊log2(x·√l)⌋`` (Section 3.2.5).
+
+    ``x = 10`` gives ~100x area flexibility between the smallest possible
+    shedding region of the (α, l)-partitioning and an equal-size region
+    of the plain l-partitioning.
+    """
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    if x <= 0:
+        raise ValueError("x must be positive")
+    return max(1, 2 ** int(math.floor(math.log2(x * math.sqrt(l)))))
+
+
+@dataclass(frozen=True)
+class LiraConfig:
+    """All knobs of the LIRA load shedder (paper Table 2 defaults).
+
+    Attributes:
+        l: number of shedding regions (effective count rounds down to
+            ``1 + 3k``; see :func:`~repro.core.gridreduce.effective_region_count`).
+        alpha: statistics-grid side cell count; ``None`` applies the
+            paper's sizing rule :func:`auto_alpha` with ``grid_factor``.
+        z: throttle fraction (update budget), in [0, 1].
+        delta_min: Δ⊢, the ideal position-update resolution (meters).
+        delta_max: Δ⊣, the lowest acceptable resolution (meters).
+        increment: c_Δ, the greedy step / piecewise-segment size (meters).
+        fairness: Δ⇔, max allowed difference between throttlers
+            (``None`` disables; 0 degenerates to uniform Δ).
+        use_speed: apply the speed-factor correction to the budget.
+        grid_factor: the ``x`` of the α sizing rule.
+    """
+
+    l: int = 250
+    alpha: int | None = 128
+    z: float = 0.5
+    delta_min: float = 5.0
+    delta_max: float = 100.0
+    increment: float = 1.0
+    fairness: float | None = 50.0
+    use_speed: bool = True
+    grid_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.l < 1:
+            raise ValueError("l must be >= 1")
+        if not (0.0 <= self.z <= 1.0):
+            raise ValueError("z must be in [0, 1]")
+        if self.delta_min < 0 or self.delta_max <= self.delta_min:
+            raise ValueError("require 0 <= delta_min < delta_max")
+        if self.increment <= 0:
+            raise ValueError("increment must be positive")
+        if self.fairness is not None and self.fairness < 0:
+            raise ValueError("fairness must be non-negative (or None)")
+        alpha = self.resolved_alpha
+        if alpha < 1 or alpha & (alpha - 1) != 0:
+            raise ValueError(f"alpha must be a power of two, got {alpha}")
+
+    @property
+    def resolved_alpha(self) -> int:
+        """α, applying the sizing rule when not set explicitly."""
+        if self.alpha is not None:
+            return self.alpha
+        return auto_alpha(self.l, self.grid_factor)
+
+    @property
+    def n_segments(self) -> int:
+        """κ, the number of piecewise-linear segments of f."""
+        return max(1, int(round((self.delta_max - self.delta_min) / self.increment)))

@@ -1,0 +1,75 @@
+"""Diagnostics: terminal renderings of plans and statistics grids.
+
+Reproduces what the paper's Figure 3 conveys visually — where the
+partitioning is fine, where it is coarse, and how the throttlers vary —
+without a plotting dependency.  Used by examples and handy in a REPL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import SheddingPlan
+from repro.core.statistics_grid import StatisticsGrid
+
+#: Density ramp from sparse to dense.
+_RAMP = " .:-=+*#%@"
+
+
+def render_plan_heatmap(plan: SheddingPlan, width: int = 48) -> str:
+    """ASCII heat map of a plan's update throttlers.
+
+    Dark glyphs = large Δ (heavy shedding), light = small Δ (accurate
+    tracking).  Region boundaries are visible as value discontinuities.
+    """
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    height = max(4, int(width * plan.bounds.height / plan.bounds.width / 2))
+    xs = np.linspace(plan.bounds.x1, plan.bounds.x2, width, endpoint=False)
+    ys = np.linspace(plan.bounds.y1, plan.bounds.y2, height, endpoint=False)
+    cell_w = plan.bounds.width / width
+    cell_h = plan.bounds.height / height
+    grid_x, grid_y = np.meshgrid(xs + cell_w / 2, ys + cell_h / 2)
+    samples = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+    thresholds = plan.thresholds_for(samples).reshape(height, width)
+    lo = plan.thresholds.min()
+    hi = plan.thresholds.max()
+    span = hi - lo if hi > lo else 1.0
+    lines = [
+        f"update throttlers: light={lo:.0f} m ... dark={hi:.0f} m",
+    ]
+    for j in range(height - 1, -1, -1):
+        row = "".join(
+            _RAMP[int((thresholds[j, i] - lo) / span * (len(_RAMP) - 1))]
+            for i in range(width)
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_density_map(grid: StatisticsGrid, field: str = "n", width: int = 48) -> str:
+    """ASCII heat map of one statistics-grid field (``n``, ``m``, or ``s``)."""
+    if field not in ("n", "m", "s"):
+        raise ValueError("field must be one of 'n', 'm', 's'")
+    data = getattr(grid, field)
+    height = max(4, width // 2)
+    # Downsample/upsample the alpha x alpha field to the render size.
+    xi = np.minimum(
+        (np.arange(width) * grid.alpha // width), grid.alpha - 1
+    )
+    yj = np.minimum(
+        (np.arange(height) * grid.alpha // height), grid.alpha - 1
+    )
+    sampled = data[np.ix_(xi, yj)]
+    hi = sampled.max()
+    lines = [f"statistics grid field '{field}' (max={hi:.2f})"]
+    for j in range(height - 1, -1, -1):
+        if hi > 0:
+            row = "".join(
+                _RAMP[int(sampled[i, j] / hi * (len(_RAMP) - 1))]
+                for i in range(width)
+            )
+        else:
+            row = " " * width
+        lines.append(row)
+    return "\n".join(lines)

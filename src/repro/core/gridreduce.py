@@ -1,0 +1,182 @@
+"""GRIDREDUCE: region-aware partitioning of the monitoring space (Algorithm 1).
+
+Stage I (the region hierarchy) lives in :mod:`repro.core.quadtree`; this
+module implements Stage II: starting from the root (the whole space),
+repeatedly split the explored region with the highest *accuracy gain*
+into its four quadrants until ``l`` shedding regions exist.
+
+The accuracy gain ``V[t] = E[t] − E_p[t]`` of a node compares the
+optimal query inaccuracy with one shedding region covering ``t``
+(``E``) against four shedding regions at ``t``'s children (``E_p``),
+both under the same proportional update budget — each computed by
+solving the throttler-setting problem with GREEDYINCREMENT (CALCERRGAIN
+in the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.greedy import RegionStats, greedy_increment
+from repro.core.quadtree import RegionHierarchy, RegionNode
+from repro.core.reduction import PiecewiseLinearReduction, ReductionFunction
+
+
+@dataclass
+class PartitioningResult:
+    """Output of GRIDREDUCE: the shedding regions with their statistics."""
+
+    regions: list[RegionStats]
+    nodes: list[RegionNode]
+    expansions: int
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+
+def effective_region_count(l: int) -> int:
+    """Largest ``l' <= l`` with ``l' mod 3 == 1`` (and ``l' >= 1``).
+
+    Each quadrant expansion replaces one region with four, so reachable
+    region counts are exactly ``1 + 3k``; requests in between round down.
+    """
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    return l - ((l - 1) % 3)
+
+
+def calc_err_gain(
+    hierarchy: RegionHierarchy,
+    node: RegionNode,
+    z: float,
+    reduction: ReductionFunction,
+    increment: float | None = None,
+    use_speed: bool = True,
+) -> float:
+    """Accuracy gain ``V[t]`` of splitting ``node`` into its quadrants.
+
+    ``E``: inaccuracy with one region (smallest Δ meeting ``f(Δ) <= z``).
+    ``E_p``: inaccuracy with the four child regions sharing the node's
+    proportional budget, solved by GREEDYINCREMENT.  Leaves cannot be
+    split and have gain 0.
+    """
+    if hierarchy.is_leaf(node):
+        return 0.0
+    if node.m <= 0.0 or node.n <= 0.0:
+        # No queries to protect, or no updates to shed: splitting cannot
+        # change the achievable inaccuracy.
+        return 0.0
+    single_delta = reduction.delta_for_fraction(z)
+    e_single = node.m * single_delta
+    children = hierarchy.children(node)
+    child_stats = [
+        RegionStats(rect=c.rect, n=c.n, m=c.m, s=c.s) for c in children
+    ]
+    result = greedy_increment(
+        child_stats,
+        reduction,
+        z,
+        increment=increment,
+        fairness=None,
+        use_speed=use_speed,
+    )
+    return max(0.0, e_single - result.inaccuracy)
+
+
+def grid_reduce(
+    hierarchy: RegionHierarchy,
+    l: int,
+    z: float,
+    reduction: ReductionFunction,
+    increment: float | None = None,
+    use_speed: bool = True,
+) -> PartitioningResult:
+    """Compute the ``(α, l)``-partitioning of the space.
+
+    Maintains a max-heap of explored nodes keyed by accuracy gain; each
+    step pops the best node and replaces it with its four quadrants.
+    Nodes that are statistics-grid cells (leaves) can no longer be split
+    and are set aside.  Stops at ``effective_region_count(l)`` regions,
+    or earlier if every remaining region is a leaf.
+    """
+    if isinstance(reduction, PiecewiseLinearReduction) and increment is None:
+        increment = reduction.segment_size
+    target = effective_region_count(l)
+
+    def gain_of(node: RegionNode) -> float:
+        return calc_err_gain(
+            hierarchy, node, z, reduction, increment=increment, use_speed=use_speed
+        )
+
+    counter = 0
+    heap: list[tuple[float, int, RegionNode]] = []
+    root = hierarchy.root
+    heapq.heappush(heap, (-gain_of(root), counter, root))
+    counter += 1
+    finished: list[RegionNode] = []
+    expansions = 0
+
+    while len(finished) + len(heap) < target and heap:
+        _, _, node = heapq.heappop(heap)
+        if hierarchy.is_leaf(node):
+            finished.append(node)
+            continue
+        for child in hierarchy.children(node):
+            heapq.heappush(heap, (-gain_of(child), counter, child))
+            counter += 1
+        expansions += 1
+
+    nodes = finished + [entry[2] for entry in heap]
+    regions = [RegionStats(rect=n.rect, n=n.n, m=n.m, s=n.s) for n in nodes]
+    return PartitioningResult(regions=regions, nodes=nodes, expansions=expansions)
+
+
+def uniform_partitioning(grid, l: int) -> PartitioningResult:
+    """The paper's *l-partitioning*: a uniform √l × √l grid of regions.
+
+    Used by the Lira-Grid baseline.  ``k = floor(√l)`` regions per side;
+    region boundaries are snapped to statistics-grid cell boundaries
+    (cell ``i`` belongs to region ``floor(i·k/α)``), so statistics
+    aggregate exactly.  ``grid`` is a
+    :class:`~repro.core.statistics_grid.StatisticsGrid`.
+    """
+    import numpy as np
+
+    if l < 1:
+        raise ValueError("l must be >= 1")
+    alpha = grid.alpha
+    k = min(max(int(l**0.5), 1), alpha)
+    # Cell index boundaries of the k blocks along one axis.
+    edges = [int(round(b * alpha / k)) for b in range(k + 1)]
+    regions: list[RegionStats] = []
+    for bi in range(k):
+        i_lo, i_hi = edges[bi], edges[bi + 1]
+        for bj in range(k):
+            j_lo, j_hi = edges[bj], edges[bj + 1]
+            n_block = grid.n[i_lo:i_hi, j_lo:j_hi]
+            m_block = grid.m[i_lo:i_hi, j_lo:j_hi]
+            s_block = grid.s[i_lo:i_hi, j_lo:j_hi]
+            n_total = float(n_block.sum())
+            momentum = float((n_block * s_block).sum())
+            s_mean = momentum / n_total if n_total > 0 else 0.0
+            rect = _block_rect(grid, i_lo, i_hi, j_lo, j_hi)
+            regions.append(
+                RegionStats(rect=rect, n=n_total, m=float(m_block.sum()), s=s_mean)
+            )
+    return PartitioningResult(regions=regions, nodes=[], expansions=0)
+
+
+def _block_rect(grid, i_lo: int, i_hi: int, j_lo: int, j_hi: int):
+    """Geographic rectangle of a block of statistics-grid cells."""
+    from repro.geo import Rect
+
+    cell_w = grid.bounds.width / grid.alpha
+    cell_h = grid.bounds.height / grid.alpha
+    return Rect(
+        grid.bounds.x1 + i_lo * cell_w,
+        grid.bounds.y1 + j_lo * cell_h,
+        grid.bounds.x1 + i_hi * cell_w,
+        grid.bounds.y1 + j_hi * cell_h,
+    )

@@ -1,0 +1,206 @@
+"""Shedding plans: the artifact LIRA computes and distributes.
+
+A :class:`SheddingPlan` pairs every shedding region with its update
+throttler Δᵢ and supports the one operation mobile nodes need: "which Δ
+applies at my position?"  Lookup is O(1) via a rasterized region-id grid
+— valid because every partitioning this library produces (quad-tree
+blocks, uniform l-partitionings) aligns its region boundaries to
+statistics-grid cell boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Rect
+from repro.core.greedy import RegionStats
+
+
+@dataclass(frozen=True, slots=True)
+class SheddingRegion:
+    """One shedding region with its assigned update throttler."""
+
+    rect: Rect
+    delta: float
+    n: float
+    m: float
+    s: float
+
+
+class SheddingPlan:
+    """A complete load-shedding configuration for the monitoring space.
+
+    Construct via :meth:`from_regions`.  ``resolution`` must be fine
+    enough that every region boundary lies on a raster line (for
+    LIRA plans pass the statistics-grid α; for uniform k×k plans pass a
+    multiple of k).  Misaligned regions raise at construction rather
+    than silently mis-assigning thresholds.
+    """
+
+    def __init__(
+        self, bounds: Rect, regions: list[SheddingRegion], id_grid: np.ndarray
+    ) -> None:
+        self.bounds = bounds
+        self.regions = regions
+        self._id_grid = id_grid
+        self._resolution = id_grid.shape[0]
+        self._deltas = np.array([r.delta for r in regions], dtype=np.float64)
+
+    @classmethod
+    def from_regions(
+        cls,
+        bounds: Rect,
+        regions: list[RegionStats],
+        thresholds: np.ndarray,
+        resolution: int,
+    ) -> "SheddingPlan":
+        """Build a plan from partitioning output + greedy thresholds."""
+        if len(regions) != len(thresholds):
+            raise ValueError("one threshold per region is required")
+        if resolution < 1:
+            raise ValueError("resolution must be >= 1")
+        shed_regions = [
+            SheddingRegion(
+                rect=reg.rect, delta=float(d), n=reg.n, m=reg.m, s=reg.s
+            )
+            for reg, d in zip(regions, thresholds)
+        ]
+        id_grid = cls._rasterize(bounds, shed_regions, resolution)
+        return cls(bounds=bounds, regions=shed_regions, id_grid=id_grid)
+
+    @staticmethod
+    def _rasterize(
+        bounds: Rect, regions: list[SheddingRegion], resolution: int
+    ) -> np.ndarray:
+        cell_w = bounds.width / resolution
+        cell_h = bounds.height / resolution
+        id_grid = np.full((resolution, resolution), -1, dtype=np.int64)
+        tol = 1e-6 * max(cell_w, cell_h)
+        for region_id, region in enumerate(regions):
+            rect = region.rect
+            i_lo = int(round((rect.x1 - bounds.x1) / cell_w))
+            i_hi = int(round((rect.x2 - bounds.x1) / cell_w))
+            j_lo = int(round((rect.y1 - bounds.y1) / cell_h))
+            j_hi = int(round((rect.y2 - bounds.y1) / cell_h))
+            aligned = (
+                abs(bounds.x1 + i_lo * cell_w - rect.x1) <= tol
+                and abs(bounds.x1 + i_hi * cell_w - rect.x2) <= tol
+                and abs(bounds.y1 + j_lo * cell_h - rect.y1) <= tol
+                and abs(bounds.y1 + j_hi * cell_h - rect.y2) <= tol
+            )
+            if not aligned:
+                raise ValueError(
+                    f"region {region_id} ({rect}) is not aligned to a "
+                    f"{resolution}x{resolution} raster of the bounds"
+                )
+            id_grid[i_lo:i_hi, j_lo:j_hi] = region_id
+        if np.any(id_grid < 0):
+            raise ValueError("regions do not tile the monitoring space")
+        return id_grid
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        """Per-region Δᵢ, in region order (copy)."""
+        return self._deltas.copy()
+
+    def region_ids_for(self, positions: np.ndarray) -> np.ndarray:
+        """Region index for each position (n, 2); out-of-bounds clamps."""
+        positions = np.asarray(positions, dtype=np.float64)
+        ix = (
+            (positions[:, 0] - self.bounds.x1)
+            / self.bounds.width
+            * self._resolution
+        ).astype(np.int64)
+        iy = (
+            (positions[:, 1] - self.bounds.y1)
+            / self.bounds.height
+            * self._resolution
+        ).astype(np.int64)
+        np.clip(ix, 0, self._resolution - 1, out=ix)
+        np.clip(iy, 0, self._resolution - 1, out=iy)
+        return self._id_grid[ix, iy]
+
+    def thresholds_for(self, positions: np.ndarray) -> np.ndarray:
+        """The Δ each node at ``positions`` must use (vectorized lookup)."""
+        return self._deltas[self.region_ids_for(positions)]
+
+    def threshold_at(self, x: float, y: float) -> float:
+        """The Δ applying at a single point."""
+        return float(self.thresholds_for(np.array([[x, y]]))[0])
+
+    def region_at(self, x: float, y: float) -> SheddingRegion:
+        """The shedding region containing a point."""
+        idx = int(self.region_ids_for(np.array([[x, y]]))[0])
+        return self.regions[idx]
+
+    def max_threshold_spread(self) -> float:
+        """``max Δᵢ − min Δᵢ`` — must not exceed the fairness threshold."""
+        return float(self._deltas.max() - self._deltas.min())
+
+    def predicted_inaccuracy(self) -> float:
+        """The objective value ``Σ mᵢ·Δᵢ`` of this plan."""
+        return float(sum(r.m * r.delta for r in self.regions))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable description of the plan."""
+        return {
+            "format": "repro.plan",
+            "version": 1,
+            "bounds": [self.bounds.x1, self.bounds.y1, self.bounds.x2, self.bounds.y2],
+            "resolution": self._resolution,
+            "regions": [
+                {
+                    "rect": [r.rect.x1, r.rect.y1, r.rect.x2, r.rect.y2],
+                    "delta": r.delta,
+                    "n": r.n,
+                    "m": r.m,
+                    "s": r.s,
+                }
+                for r in self.regions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SheddingPlan":
+        """Rebuild a plan written by :meth:`to_dict` (raster recomputed)."""
+        if doc.get("format") != "repro.plan":
+            raise ValueError("not a repro shedding-plan document")
+        if doc.get("version") != 1:
+            raise ValueError(f"unsupported plan version {doc.get('version')!r}")
+        bounds = Rect(*doc["bounds"])
+        regions = [
+            RegionStats(
+                rect=Rect(*record["rect"]),
+                n=record["n"],
+                m=record["m"],
+                s=record["s"],
+            )
+            for record in doc["regions"]
+        ]
+        thresholds = np.array([record["delta"] for record in doc["regions"]])
+        return cls.from_regions(bounds, regions, thresholds, doc["resolution"])
+
+    def save(self, path) -> None:
+        """Write the plan to a JSON file."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path) -> "SheddingPlan":
+        """Read a plan written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))

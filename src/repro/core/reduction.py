@@ -1,0 +1,205 @@
+"""The update-reduction function ``f(Δ)`` and its derivative-rate ``r(Δ)``.
+
+``f(Δ)`` gives the number of position updates received when all nodes use
+inaccuracy threshold Δ, *relative to* Δ = Δ⊢ (so ``f(Δ⊢) = 1`` and ``f``
+is non-increasing).  Paper Figure 1 measures it empirically: steep decay
+near Δ⊢ flattening to a linear tail near Δ⊣.
+
+Three implementations:
+
+* :class:`PiecewiseLinearReduction` — κ linear segments.  This is the
+  approximation under which GREEDYINCREMENT is provably optimal
+  (Theorem 3.1); its segment size is the greedy increment c_Δ.
+* :class:`AnalyticReduction` — a closed-form hyperbolic-plus-linear
+  model of the Figure 1 shape, for fast experimentation.
+* :func:`measure_reduction_from_trace` — the empirical route: dead-reckon
+  a trace at sampled Δ values and interpolate (this regenerates Fig 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class ReductionFunction(ABC):
+    """Relative update volume as a function of the inaccuracy threshold.
+
+    Contract: ``f`` is defined on ``[delta_min, delta_max]``, with
+    ``f(delta_min) = 1`` and ``f`` non-increasing.  ``r`` is the negative
+    right-derivative (the *rate of decrease*), used in update gains.
+    """
+
+    def __init__(self, delta_min: float, delta_max: float) -> None:
+        if delta_min < 0 or delta_max <= delta_min:
+            raise ValueError("require 0 <= delta_min < delta_max")
+        self.delta_min = delta_min
+        self.delta_max = delta_max
+
+    @abstractmethod
+    def f(self, delta: float) -> float:
+        """Relative number of updates at threshold ``delta``."""
+
+    @abstractmethod
+    def r(self, delta: float) -> float:
+        """Rate of decrease ``-df/dΔ`` at ``delta`` (right-derivative)."""
+
+    def _check_domain(self, delta: float) -> float:
+        if not (self.delta_min - 1e-9 <= delta <= self.delta_max + 1e-9):
+            raise ValueError(
+                f"delta={delta} outside [{self.delta_min}, {self.delta_max}]"
+            )
+        return min(max(delta, self.delta_min), self.delta_max)
+
+    def delta_for_fraction(self, z: float) -> float:
+        """Smallest Δ with ``f(Δ) <= z`` (Δ⊣ if no such Δ exists).
+
+        This solves the single-region throttler problem: minimizing
+        ``m·Δ`` subject to the budget is achieved at the smallest
+        feasible Δ because the objective is increasing in Δ.
+        """
+        if z >= self.f(self.delta_min):
+            return self.delta_min
+        if self.f(self.delta_max) > z:
+            return self.delta_max
+        lo, hi = self.delta_min, self.delta_max
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            if self.f(mid) <= z:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def piecewise(self, n_segments: int) -> "PiecewiseLinearReduction":
+        """Discretize into a κ-segment piecewise-linear approximation."""
+        knots = np.linspace(self.delta_min, self.delta_max, n_segments + 1)
+        values = np.array([self.f(float(k)) for k in knots])
+        return PiecewiseLinearReduction(knots, values)
+
+
+class PiecewiseLinearReduction(ReductionFunction):
+    """Non-increasing piecewise-linear ``f`` on evenly spaced knots.
+
+    ``knots`` must be evenly spaced from Δ⊢ to Δ⊣; ``values`` are the
+    corresponding ``f`` samples, normalized so ``f(Δ⊢) = 1``.  Any
+    accidental increase in the samples (possible with noisy empirical
+    measurements) is flattened by a running-minimum pass to preserve the
+    non-increasing contract.
+    """
+
+    def __init__(self, knots: np.ndarray, values: np.ndarray) -> None:
+        knots = np.asarray(knots, dtype=np.float64)
+        values = np.asarray(values, dtype=np.float64)
+        if knots.ndim != 1 or knots.size < 2 or knots.shape != values.shape:
+            raise ValueError("knots and values must be 1-D arrays of equal size >= 2")
+        gaps = np.diff(knots)
+        if np.any(gaps <= 0) or not np.allclose(gaps, gaps[0]):
+            raise ValueError("knots must be strictly increasing and evenly spaced")
+        if values[0] <= 0:
+            raise ValueError("f(delta_min) must be positive")
+        super().__init__(float(knots[0]), float(knots[-1]))
+        self.knots = knots
+        self.values = np.minimum.accumulate(values / values[0])
+        self.segment_size = float(gaps[0])
+
+    @property
+    def n_segments(self) -> int:
+        """Number of linear segments κ."""
+        return self.knots.size - 1
+
+    def _segment_index(self, delta: float) -> int:
+        idx = int((delta - self.delta_min) / self.segment_size)
+        return min(max(idx, 0), self.n_segments - 1)
+
+    def f(self, delta: float) -> float:
+        delta = self._check_domain(delta)
+        i = self._segment_index(delta)
+        t = (delta - self.knots[i]) / self.segment_size
+        return float(self.values[i] + t * (self.values[i + 1] - self.values[i]))
+
+    def r(self, delta: float) -> float:
+        delta = self._check_domain(delta)
+        if delta >= self.delta_max:
+            i = self.n_segments - 1
+        else:
+            i = self._segment_index(delta)
+        return float((self.values[i] - self.values[i + 1]) / self.segment_size)
+
+
+class AnalyticReduction(ReductionFunction):
+    """Closed-form model of the Figure 1 reduction curve.
+
+    ``f(Δ) = w·(Δ⊢/Δ)^p + (1−w)·(1 − β·(Δ−Δ⊢)/(Δ⊣−Δ⊢))``
+
+    The hyperbolic term produces the steep decay near Δ⊢ (dead
+    reckoning's update rate falls roughly inversely with the allowed
+    deviation for linear-ish motion); the linear term produces the fixed
+    slope the paper observes as Δ approaches Δ⊣.  Defaults are fitted to
+    the qualitative shape of Figure 1 (Δ⊢=5 m, Δ⊣=100 m).
+    """
+
+    def __init__(
+        self,
+        delta_min: float = 5.0,
+        delta_max: float = 100.0,
+        hyperbolic_weight: float = 0.7,
+        hyperbolic_power: float = 1.0,
+        linear_drop: float = 0.9,
+    ) -> None:
+        super().__init__(delta_min, delta_max)
+        if not (0.0 <= hyperbolic_weight <= 1.0):
+            raise ValueError("hyperbolic_weight must be in [0, 1]")
+        if not (0.0 <= linear_drop <= 1.0):
+            raise ValueError("linear_drop must be in [0, 1]")
+        if hyperbolic_power <= 0:
+            raise ValueError("hyperbolic_power must be positive")
+        self.w = hyperbolic_weight
+        self.p = hyperbolic_power
+        self.beta = linear_drop
+
+    def f(self, delta: float) -> float:
+        delta = self._check_domain(delta)
+        span = self.delta_max - self.delta_min
+        hyper = (self.delta_min / delta) ** self.p if delta > 0 else 1.0
+        linear = 1.0 - self.beta * (delta - self.delta_min) / span
+        return self.w * hyper + (1.0 - self.w) * linear
+
+    def r(self, delta: float) -> float:
+        delta = self._check_domain(delta)
+        span = self.delta_max - self.delta_min
+        hyper_rate = self.p * (self.delta_min**self.p) / (delta ** (self.p + 1))
+        linear_rate = self.beta / span
+        return self.w * hyper_rate + (1.0 - self.w) * linear_rate
+
+
+def measure_reduction_from_trace(
+    trace,
+    delta_min: float = 5.0,
+    delta_max: float = 100.0,
+    n_samples: int = 20,
+) -> PiecewiseLinearReduction:
+    """Measure ``f(Δ)`` empirically from a trace (regenerates Figure 1).
+
+    Runs dead reckoning over the whole trace for ``n_samples`` evenly
+    spaced thresholds and counts the reports each produces; the counts,
+    normalized by the count at Δ⊢, interpolate into a piecewise-linear
+    reduction function.  The first tick's mandatory reports (model
+    initialization) are excluded from the counts since they occur at
+    every threshold equally.
+    """
+    from repro.motion import DeadReckoningFleet
+
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    knots = np.linspace(delta_min, delta_max, n_samples)
+    counts = np.empty(n_samples, dtype=np.float64)
+    for k, delta in enumerate(knots):
+        fleet = DeadReckoningFleet(trace.num_nodes)
+        fleet.set_thresholds(float(delta))
+        for tick in range(trace.num_ticks):
+            fleet.observe(tick * trace.dt, trace.positions[tick], trace.velocities[tick])
+        counts[k] = fleet.total_reports - trace.num_nodes  # exclude initial reports
+    counts = np.maximum(counts, 1.0)
+    return PiecewiseLinearReduction(knots, counts)

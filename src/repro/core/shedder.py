@@ -1,0 +1,153 @@
+"""The LIRA load shedder: GRIDREDUCE + GREEDYINCREMENT + THROTLOOP.
+
+:class:`LiraLoadShedder` is the server-side orchestrator.  Each call to
+:meth:`LiraLoadShedder.adapt` runs one adaptation step — partition the
+space from the current statistics grid, set the update throttlers within
+the current budget — and returns the :class:`~repro.core.plan.SheddingPlan`
+to broadcast.  The throttle fraction z can be fixed (a system-level
+parameter) or driven by the embedded :class:`~repro.core.throtloop.ThrotLoop`
+via :meth:`LiraLoadShedder.observe_load`.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass
+
+logger = logging.getLogger(__name__)
+
+from repro.core.config import LiraConfig
+from repro.core.gridreduce import grid_reduce
+from repro.core.greedy import greedy_increment
+from repro.core.plan import SheddingPlan
+from repro.core.quadtree import RegionHierarchy
+from repro.core.reduction import ReductionFunction
+from repro.core.statistics_grid import StatisticsGrid
+from repro.core.throtloop import ThrotLoop
+
+
+@dataclass
+class AdaptationReport:
+    """Diagnostics of one adaptation step."""
+
+    plan: SheddingPlan
+    z: float
+    num_regions: int
+    budget_met: bool
+    predicted_inaccuracy: float
+    elapsed_seconds: float
+
+
+class LiraLoadShedder:
+    """Server-side LIRA: computes shedding plans from grid statistics.
+
+    Args:
+        config: algorithm parameters (Table 2 defaults).
+        reduction: the update-reduction function f(Δ); it is discretized
+            once into κ = ``config.n_segments`` linear segments of size
+            c_Δ, the form under which GREEDYINCREMENT is optimal.
+        queue_capacity: B for the embedded THROTLOOP controller.
+    """
+
+    def __init__(
+        self,
+        config: LiraConfig,
+        reduction: ReductionFunction,
+        queue_capacity: int = 100,
+    ) -> None:
+        if not (
+            reduction.delta_min == config.delta_min
+            and reduction.delta_max == config.delta_max
+        ):
+            raise ValueError(
+                "reduction function domain must match config "
+                f"[{config.delta_min}, {config.delta_max}]"
+            )
+        self.config = config
+        self.reduction = reduction.piecewise(config.n_segments)
+        self.throtloop = ThrotLoop(queue_capacity=queue_capacity, z=1.0)
+        self._fixed_z: float | None = config.z
+        self.last_report: AdaptationReport | None = None
+
+    def use_adaptive_throttle(self) -> None:
+        """Let THROTLOOP drive z instead of the configured constant."""
+        self._fixed_z = None
+
+    def set_throttle_fraction(self, z: float) -> None:
+        """Pin z to a fixed value (overriding THROTLOOP)."""
+        if not (0.0 <= z <= 1.0):
+            raise ValueError("z must be in [0, 1]")
+        self._fixed_z = z
+
+    def observe_load(self, arrival_rate: float, service_rate: float) -> float:
+        """Feed one load measurement to THROTLOOP; returns the new z."""
+        return self.throtloop.step(arrival_rate, service_rate)
+
+    @property
+    def current_z(self) -> float:
+        """The throttle fraction the next adaptation will use."""
+        return self._fixed_z if self._fixed_z is not None else self.throtloop.z
+
+    def adapt(self, grid: StatisticsGrid) -> SheddingPlan:
+        """One full adaptation step; returns the new shedding plan.
+
+        Runs GRIDREDUCE on the hierarchy built from ``grid``, then
+        GREEDYINCREMENT over the resulting regions.  Timing and budget
+        diagnostics land in :attr:`last_report`.
+        """
+        if grid.alpha != self.config.resolved_alpha:
+            raise ValueError(
+                f"statistics grid is {grid.alpha} cells/side, config expects "
+                f"{self.config.resolved_alpha}"
+            )
+        z = self.current_z
+        started = time.perf_counter()
+        hierarchy = RegionHierarchy(grid)
+        partitioning = grid_reduce(
+            hierarchy,
+            self.config.l,
+            z,
+            self.reduction,
+            increment=self.config.increment,
+            use_speed=self.config.use_speed,
+        )
+        result = greedy_increment(
+            partitioning.regions,
+            self.reduction,
+            z,
+            increment=self.config.increment,
+            fairness=self.config.fairness,
+            use_speed=self.config.use_speed,
+        )
+        plan = SheddingPlan.from_regions(
+            bounds=grid.bounds,
+            regions=partitioning.regions,
+            thresholds=result.thresholds,
+            resolution=grid.alpha,
+        )
+        elapsed = time.perf_counter() - started
+        logger.debug(
+            "adaptation: z=%.3f regions=%d budget_met=%s inaccuracy=%.2f "
+            "elapsed=%.1fms",
+            z,
+            plan.num_regions,
+            result.budget_met,
+            result.inaccuracy,
+            elapsed * 1000,
+        )
+        if not result.budget_met:
+            logger.warning(
+                "update budget unreachable at z=%.3f: all throttlers "
+                "saturated; consider raising delta_max or lowering load",
+                z,
+            )
+        self.last_report = AdaptationReport(
+            plan=plan,
+            z=z,
+            num_regions=plan.num_regions,
+            budget_met=result.budget_met,
+            predicted_inaccuracy=result.inaccuracy,
+            elapsed_seconds=elapsed,
+        )
+        return plan

@@ -1,0 +1,244 @@
+"""The statistics grid — LIRA's only server-side data structure.
+
+An α×α uniform grid over the monitoring space storing, per cell
+``(i, j)``: the number of mobile nodes ``n``, the (fractional) number of
+queries ``m``, and the average node speed ``s``.  Paper Section 3.2.1
+lists three maintenance options — piggybacking on a grid index, explicit
+maintenance from the update stream (optionally sampled), and off-line
+precomputation.  All three are supported here:
+
+* :meth:`StatisticsGrid.from_snapshot` — build from a position snapshot
+  plus a query workload (the off-line / index-backed route);
+* :meth:`StatisticsGrid.ingest_update` + :meth:`StatisticsGrid.roll` —
+  constant-time-per-update incremental maintenance with optional
+  sampling, accumulating a fresh window and swapping it in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo import Rect
+from repro.queries import RangeQuery
+
+
+class StatisticsGrid:
+    """α×α grid of (node count, query count, mean speed) statistics.
+
+    Indexing convention: ``n[i, j]`` is the cell with x-index ``i`` and
+    y-index ``j`` (x grows with i, y with j).
+    """
+
+    def __init__(self, bounds: Rect, alpha: int) -> None:
+        if alpha < 1:
+            raise ValueError("alpha must be >= 1")
+        self.bounds = bounds
+        self.alpha = alpha
+        self.n = np.zeros((alpha, alpha), dtype=np.float64)
+        self.m = np.zeros((alpha, alpha), dtype=np.float64)
+        self.s = np.zeros((alpha, alpha), dtype=np.float64)
+        self._cell_w = bounds.width / alpha
+        self._cell_h = bounds.height / alpha
+        # Accumulators for incremental maintenance.
+        self._acc_count = np.zeros((alpha, alpha), dtype=np.float64)
+        self._acc_speed = np.zeros((alpha, alpha), dtype=np.float64)
+        self._acc_updates = 0
+
+    # ------------------------------------------------------------------
+    # Construction from snapshots
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        bounds: Rect,
+        alpha: int,
+        positions: np.ndarray,
+        speeds: np.ndarray | None = None,
+        queries: list[RangeQuery] | None = None,
+    ) -> "StatisticsGrid":
+        """Build a grid from current node positions (+speeds, +queries)."""
+        grid = cls(bounds, alpha)
+        grid.set_node_statistics(positions, speeds)
+        if queries:
+            grid.set_query_statistics(queries)
+        return grid
+
+    @classmethod
+    def from_grid_index(
+        cls,
+        index,
+        queries: list[RangeQuery] | None = None,
+        speeds: np.ndarray | None = None,
+    ) -> "StatisticsGrid":
+        """Piggyback on a server's grid index (paper Section 3.2.1).
+
+        "If the mobile CQ server uses a grid-based index on mobile node
+        positions the statistics grid can be trivially supported as a
+        part of the grid index": node counts come straight from the
+        index's cell occupancy.  ``index`` is a
+        :class:`~repro.index.GridIndex` whose ``cells_per_side`` becomes
+        α.  Per-cell speeds are zero unless ``speeds`` (indexed by point
+        id) is supplied.
+        """
+        grid = cls(index.bounds, index.cells_per_side)
+        grid.n = index.cell_counts().astype(np.float64)
+        if speeds is not None:
+            speeds = np.asarray(speeds, dtype=np.float64)
+            speed_sum = np.zeros_like(grid.n)
+            for point_id, (cx, cy) in index._locations.items():
+                speed_sum[cx, cy] += speeds[point_id]
+            with np.errstate(invalid="ignore", divide="ignore"):
+                grid.s = np.where(grid.n > 0, speed_sum / np.maximum(grid.n, 1), 0.0)
+        if queries:
+            grid.set_query_statistics(queries)
+        return grid
+
+    def set_node_statistics(
+        self, positions: np.ndarray, speeds: np.ndarray | None = None
+    ) -> None:
+        """Replace node counts and mean speeds from a snapshot.
+
+        ``positions`` has shape ``(n, 2)``; ``speeds`` shape ``(n,)``
+        (defaults to zeros).  Out-of-bounds nodes clamp to edge cells.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        count = len(positions)
+        if speeds is None:
+            speeds = np.zeros(count)
+        speeds = np.asarray(speeds, dtype=np.float64)
+        if speeds.shape != (count,):
+            raise ValueError("speeds must have shape (len(positions),)")
+        ix, iy = self.cell_indices(positions)
+        flat = ix * self.alpha + iy
+        n_flat = np.bincount(flat, minlength=self.alpha * self.alpha).astype(np.float64)
+        s_flat = np.bincount(flat, weights=speeds, minlength=self.alpha * self.alpha)
+        self.n = n_flat.reshape(self.alpha, self.alpha)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = np.where(n_flat > 0, s_flat / np.maximum(n_flat, 1), 0.0)
+        self.s = mean.reshape(self.alpha, self.alpha)
+
+    def set_query_statistics(self, queries: list[RangeQuery]) -> None:
+        """Replace per-cell query counts, counting overlaps fractionally.
+
+        A query contributes ``area(q ∩ cell) / area(q)`` to each cell,
+        implementing the paper's "queries partially intersecting the
+        shedding region are fractionally counted" rule at grid-cell
+        granularity (shedding regions are unions of cells, so fractional
+        counts aggregate exactly).
+        """
+        self.m = np.zeros((self.alpha, self.alpha), dtype=np.float64)
+        for query in queries:
+            self._add_query(query.rect, 1.0)
+
+    def _add_query(self, rect: Rect, weight: float) -> None:
+        clipped = rect.intersection(
+            Rect(self.bounds.x1, self.bounds.y1, self.bounds.x2, self.bounds.y2)
+        )
+        if clipped is None or rect.area == 0.0:
+            return
+        i_lo = self._clamp_i((clipped.x1 - self.bounds.x1) / self._cell_w)
+        i_hi = self._clamp_i((clipped.x2 - self.bounds.x1) / self._cell_w, ceil=True)
+        j_lo = self._clamp_i((clipped.y1 - self.bounds.y1) / self._cell_h)
+        j_hi = self._clamp_i((clipped.y2 - self.bounds.y1) / self._cell_h, ceil=True)
+        for i in range(i_lo, i_hi):
+            cell_x1 = self.bounds.x1 + i * self._cell_w
+            overlap_x = min(clipped.x2, cell_x1 + self._cell_w) - max(clipped.x1, cell_x1)
+            if overlap_x <= 0:
+                continue
+            for j in range(j_lo, j_hi):
+                cell_y1 = self.bounds.y1 + j * self._cell_h
+                overlap_y = min(clipped.y2, cell_y1 + self._cell_h) - max(
+                    clipped.y1, cell_y1
+                )
+                if overlap_y <= 0:
+                    continue
+                self.m[i, j] += weight * (overlap_x * overlap_y) / rect.area
+
+    def _clamp_i(self, value: float, ceil: bool = False) -> int:
+        """Clamp a fractional cell coordinate to a valid loop bound."""
+        idx = int(np.ceil(value)) if ceil else int(np.floor(value))
+        return min(max(idx, 0), self.alpha)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance from the update stream
+    # ------------------------------------------------------------------
+
+    def ingest_update(self, x: float, y: float, speed: float = 0.0) -> None:
+        """Account one position update into the current accumulation window.
+
+        Constant time, as the paper requires.  Callers implementing
+        sampling simply invoke this for a subset of updates; the
+        normalization happens in :meth:`roll`.
+        """
+        i, j = self._cell_of(x, y)
+        self._acc_count[i, j] += 1.0
+        self._acc_speed[i, j] += speed
+        self._acc_updates += 1
+
+    def roll(self, expected_updates_per_node: float = 1.0) -> None:
+        """Swap the accumulation window into the live statistics.
+
+        ``expected_updates_per_node`` converts raw update counts into
+        node-count estimates (a node reporting k times in the window
+        contributes k updates).  Mean speeds are per-update averages.
+        The accumulators are cleared for the next window.
+        """
+        if expected_updates_per_node <= 0:
+            raise ValueError("expected_updates_per_node must be positive")
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_speed = np.where(
+                self._acc_count > 0, self._acc_speed / np.maximum(self._acc_count, 1), 0.0
+            )
+        self.n = self._acc_count / expected_updates_per_node
+        self.s = mean_speed
+        self._acc_count = np.zeros_like(self._acc_count)
+        self._acc_speed = np.zeros_like(self._acc_speed)
+        self._acc_updates = 0
+
+    # ------------------------------------------------------------------
+    # Cell geometry and aggregates
+    # ------------------------------------------------------------------
+
+    def cell_indices(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized (i, j) cell indices for positions of shape (n, 2)."""
+        positions = np.asarray(positions, dtype=np.float64)
+        ix = ((positions[:, 0] - self.bounds.x1) / self._cell_w).astype(np.int64)
+        iy = ((positions[:, 1] - self.bounds.y1) / self._cell_h).astype(np.int64)
+        np.clip(ix, 0, self.alpha - 1, out=ix)
+        np.clip(iy, 0, self.alpha - 1, out=iy)
+        return ix, iy
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        i = int((x - self.bounds.x1) / self._cell_w)
+        j = int((y - self.bounds.y1) / self._cell_h)
+        return (
+            min(max(i, 0), self.alpha - 1),
+            min(max(j, 0), self.alpha - 1),
+        )
+
+    def cell_rect(self, i: int, j: int) -> Rect:
+        """The geographic rectangle of cell ``(i, j)``."""
+        if not (0 <= i < self.alpha and 0 <= j < self.alpha):
+            raise IndexError(f"cell ({i}, {j}) outside {self.alpha}x{self.alpha} grid")
+        x1 = self.bounds.x1 + i * self._cell_w
+        y1 = self.bounds.y1 + j * self._cell_h
+        return Rect(x1, y1, x1 + self._cell_w, y1 + self._cell_h)
+
+    @property
+    def total_nodes(self) -> float:
+        """Total node count over all cells."""
+        return float(self.n.sum())
+
+    @property
+    def total_queries(self) -> float:
+        """Total (fractional) query count over all cells."""
+        return float(self.m.sum())
+
+    @property
+    def mean_speed(self) -> float:
+        """Node-weighted overall average speed ŝ."""
+        total = self.n.sum()
+        if total == 0:
+            return 0.0
+        return float((self.n * self.s).sum() / total)

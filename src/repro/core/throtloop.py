@@ -1,0 +1,102 @@
+"""THROTLOOP: adaptive setting of the throttle fraction z (Section 3.4).
+
+The controller observes the position-update input queue and adjusts the
+throttle fraction so that the update arrival rate λ matches what the
+server can process.  Under an M/M/1 model, keeping the *average* queue
+length within a maximum queue size B requires utilization
+``ρ = λ/μ <= 1 − 1/B``; THROTLOOP divides the current z by the
+normalized utilization ``u = ρ / (1 − 1/B)`` each period:
+
+    z ← min(1, z_prev / u)
+
+so overload (u > 1) shrinks the budget and slack (u < 1) grows it back
+toward 1.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ThrotLoop:
+    """The throttle-fraction feedback controller.
+
+    ``queue_capacity`` is B, the maximum input-queue size.  ``z_floor``
+    guards against a single pathological measurement collapsing the
+    budget to zero (the paper's experiments never drive z below ~0.25,
+    where all alternatives converge anyway).
+    """
+
+    queue_capacity: int
+    z: float = 1.0
+    z_floor: float = 0.01
+    smoothing: float | None = None
+    history: list[float] = field(default_factory=list)
+    _smoothed_utilization: float | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 2:
+            raise ValueError("queue_capacity B must be >= 2")
+        if not (0.0 < self.z <= 1.0):
+            raise ValueError("initial z must be in (0, 1]")
+        if not (0.0 < self.z_floor <= 1.0):
+            raise ValueError("z_floor must be in (0, 1]")
+        if self.smoothing is not None and not (0.0 < self.smoothing <= 1.0):
+            raise ValueError("smoothing must be in (0, 1] (or None)")
+
+    @property
+    def target_utilization(self) -> float:
+        """The stability threshold ``1 − 1/B``."""
+        return 1.0 - 1.0 / self.queue_capacity
+
+    def step(self, arrival_rate: float, service_rate: float) -> float:
+        """One periodic adjustment from measured λ and μ; returns new z."""
+        if service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        if arrival_rate < 0:
+            raise ValueError("arrival_rate must be non-negative")
+        return self.step_utilization(arrival_rate / service_rate)
+
+    def step_utilization(self, utilization: float) -> float:
+        """One periodic adjustment from measured utilization ρ = λ/μ.
+
+        With ``smoothing`` set (EWMA weight β on the new sample — an
+        extension beyond the paper), a single noisy measurement cannot
+        whipsaw the budget; β = 1 or ``None`` is the paper's raw control
+        law.
+        """
+        if utilization < 0:
+            raise ValueError("utilization must be non-negative")
+        if self.smoothing is not None:
+            if self._smoothed_utilization is None:
+                self._smoothed_utilization = utilization
+            else:
+                self._smoothed_utilization = (
+                    self.smoothing * utilization
+                    + (1.0 - self.smoothing) * self._smoothed_utilization
+                )
+            utilization = self._smoothed_utilization
+        u = utilization / self.target_utilization
+        previous = self.z
+        if u <= 0:
+            # No arrivals at all: open the budget fully.
+            self.z = 1.0
+        else:
+            self.z = min(1.0, max(self.z_floor, self.z / u))
+        if self.z < previous:
+            logger.debug(
+                "throttle tightened: rho=%.3f -> z %.3f -> %.3f",
+                utilization, previous, self.z,
+            )
+        self.history.append(self.z)
+        return self.z
+
+    def reset(self) -> None:
+        """Return to the initial fully open budget (z = 1)."""
+        self.z = 1.0
+        self.history.clear()
+        self._smoothed_utilization = None

@@ -1,0 +1,110 @@
+"""Plan validation: cross-checks between LIRA's components.
+
+A :class:`~repro.core.plan.SheddingPlan` encodes promises — the regions
+tile the space, the throttlers respect the domain and fairness bounds,
+and the predicted update expenditure fits the budget.  These helpers
+verify them explicitly; the test suite uses them, and so can users who
+build plans from custom partitionings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import LiraConfig
+from repro.core.plan import SheddingPlan
+from repro.core.reduction import ReductionFunction
+
+
+@dataclass
+class PlanValidationReport:
+    """Outcome of :func:`validate_plan`; falsy when any check failed."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    predicted_expenditure_ratio: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_plan(
+    plan: SheddingPlan,
+    config: LiraConfig,
+    reduction: ReductionFunction | None = None,
+    budget_tolerance: float = 0.02,
+) -> PlanValidationReport:
+    """Check a shedding plan against a configuration's promises.
+
+    Verifies: region tiling (area conservation and pairwise
+    disjointness), throttler domain ``[Δ⊢, Δ⊣]``, the fairness bound
+    ``max Δ − min Δ <= Δ⇔``, and — when ``reduction`` is given — that
+    the plan's predicted expenditure ``Σ nᵢ·sᵢ·f(Δᵢ)`` fits within
+    ``z`` of the full-accuracy expenditure (up to ``budget_tolerance``),
+    unless the budget was unreachable (all throttlers at Δ⊣).
+    """
+    report = PlanValidationReport()
+
+    total_area = sum(r.rect.area for r in plan.regions)
+    if not np.isclose(total_area, plan.bounds.area, rtol=1e-9):
+        report.errors.append(
+            f"regions cover {total_area:.6g} of {plan.bounds.area:.6g} area"
+        )
+    for i, a in enumerate(plan.regions):
+        for b in plan.regions[i + 1 :]:
+            if a.rect.intersects(b.rect):
+                report.errors.append(f"regions overlap: {a.rect} and {b.rect}")
+                break
+
+    thresholds = plan.thresholds
+    if thresholds.min() < config.delta_min - 1e-9:
+        report.errors.append(
+            f"throttler {thresholds.min():.3f} below delta_min {config.delta_min}"
+        )
+    if thresholds.max() > config.delta_max + 1e-9:
+        report.errors.append(
+            f"throttler {thresholds.max():.3f} above delta_max {config.delta_max}"
+        )
+    if config.fairness is not None:
+        spread = plan.max_threshold_spread()
+        if spread > config.fairness + 1e-9:
+            report.errors.append(
+                f"threshold spread {spread:.3f} exceeds fairness {config.fairness}"
+            )
+
+    if reduction is not None:
+        weights = np.array([r.n * r.s for r in plan.regions])
+        if weights.sum() <= 0:
+            weights = np.array([r.n for r in plan.regions])
+        full = float(weights.sum())  # f(delta_min) = 1
+        if full > 0:
+            spent = float(
+                sum(w * reduction.f(float(d)) for w, d in zip(weights, thresholds))
+            )
+            ratio = spent / full
+            report.predicted_expenditure_ratio = ratio
+            # A plan is "saturated" (budget unreachable) when every
+            # sheddable region's throttler sits at its effective ceiling:
+            # delta_max, or the fairness ceiling min(Δ) + Δ⇔ when the
+            # fairness constraint binds first.
+            ceiling = config.delta_max
+            if config.fairness is not None:
+                ceiling = min(ceiling, float(thresholds.min()) + config.fairness)
+            saturated = bool(
+                np.all((thresholds >= ceiling - 1e-9) | (weights <= 0))
+            )
+            if ratio > config.z + budget_tolerance and not saturated:
+                report.errors.append(
+                    f"predicted expenditure ratio {ratio:.3f} exceeds "
+                    f"z={config.z} (+{budget_tolerance})"
+                )
+        else:
+            report.warnings.append("plan has no update weight; budget check skipped")
+
+    return report

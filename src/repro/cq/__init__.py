@@ -1,0 +1,17 @@
+"""Incremental CQ evaluation: query indexing, result deltas, moving queries."""
+
+from repro.cq.engine import (
+    EngineStats,
+    IncrementalCQEngine,
+    MovingRangeQuery,
+    ResultDelta,
+)
+from repro.cq.query_index import QueryIndex
+
+__all__ = [
+    "EngineStats",
+    "IncrementalCQEngine",
+    "MovingRangeQuery",
+    "QueryIndex",
+    "ResultDelta",
+]

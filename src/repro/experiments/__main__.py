@@ -1,0 +1,104 @@
+"""Command-line experiment runner.
+
+Examples::
+
+    python -m repro.experiments fig04 --scale small
+    python -m repro.experiments all --scale medium
+    python -m repro.experiments list
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS, SCALES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the LIRA paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig04, table3), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render each result as an ASCII chart in addition to the table",
+    )
+    parser.add_argument(
+        "--logy",
+        action="store_true",
+        help="use a log y-axis for --plot",
+    )
+    parser.add_argument(
+        "--replicate",
+        type=int,
+        metavar="N",
+        help="run each experiment N times with distinct seeds and report "
+        "mean/std series",
+    )
+    parser.add_argument(
+        "--save",
+        metavar="PATH",
+        help="also save each result (extension picks csv/json/md/txt; "
+        "the experiment id is appended to the stem)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; try 'list'")
+
+    scale = SCALES[args.scale]
+    for name in names:
+        runner = EXPERIMENTS[name]
+        started = time.perf_counter()
+        supports_scale = "scale" in inspect.signature(runner).parameters
+        if args.replicate and supports_scale:
+            from repro.experiments.replication import replicate
+
+            seeds = tuple(scale.seed + 10 * k for k in range(args.replicate))
+            result = replicate(runner, scale, seeds=seeds)
+        elif supports_scale:
+            result = runner(scale=scale)
+        else:
+            result = runner()
+        elapsed = time.perf_counter() - started
+        print(result.format_table())
+        if args.plot:
+            from repro.experiments.plotting import render_ascii_chart
+
+            print()
+            print(render_ascii_chart(result, logy=args.logy))
+        if args.save:
+            from pathlib import Path
+
+            target = Path(args.save)
+            out = target.with_name(f"{target.stem}_{name}{target.suffix}")
+            result.save(out)
+            print(f"[saved {out}]")
+        print(f"[{name} completed in {elapsed:.1f}s at scale={scale.name}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

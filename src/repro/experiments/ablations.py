@@ -1,0 +1,130 @@
+"""Ablation experiments for LIRA's design choices (beyond the paper).
+
+* Speed factor — Section 3.1.2 argues the update budget must be scaled
+  by per-region average speeds.  We measure budget adherence (updates
+  actually sent / the full-accuracy reference) with and without the
+  correction; without it, regions full of fast nodes are under-charged
+  and the realized update volume overshoots the budget.
+* α sizing rule — Section 3.2.5's ``α = 2^⌊log2(x·√l)⌋`` with x = 10.
+  We sweep α at fixed l and locate the knee of the error curve; the
+  rule's α should sit at or past it.
+"""
+
+from __future__ import annotations
+
+from repro.core import auto_alpha
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import MEDIUM, ExperimentScale, run_policy_suite
+from repro.sim import Simulation, SimulationConfig, make_policies, reference_update_count
+
+
+def run_ablation_speed_factor(
+    scale: ExperimentScale = MEDIUM,
+    zs: tuple[float, ...] = (0.4, 0.5, 0.6, 0.75),
+) -> ExperimentResult:
+    """Budget adherence with and without the speed-factor correction."""
+    scenario = scale.scenario()
+    reference = reference_update_count(scenario.trace, scenario.delta_min)
+    result = ExperimentResult(
+        experiment_id="ablation-speed",
+        title="Update budget adherence: sent/reference vs z, +/- speed factor",
+        x_label="z",
+        x=list(zs),
+        notes="values should track z; closer tracking = better budget model",
+    )
+    for use_speed in (True, False):
+        ratios = []
+        errors = []
+        for z in zs:
+            config = scale.lira_config(use_speed=use_speed)
+            policy = make_policies(scenario, config, include=("lira",))["lira"]
+            sim = Simulation(
+                scenario.trace,
+                scenario.queries,
+                policy,
+                SimulationConfig(z=z, adapt_every=scale.adapt_every, seed=scale.seed),
+            )
+            res = sim.run()
+            ratios.append(res.updates_sent / reference)
+            errors.append(res.mean_containment_error)
+        label = "with speed" if use_speed else "without speed"
+        result.add_series(f"sent ratio ({label})", ratios)
+        result.add_series(f"E_rr^C ({label})", errors)
+    return result
+
+
+def run_ablation_increment(
+    scale: ExperimentScale = MEDIUM,
+    increments: tuple[float, ...] = (0.5, 1.0, 5.0, 20.0),
+    z: float = 0.5,
+) -> ExperimentResult:
+    """Effect of the greedy increment c_Δ (Theorem 3.1's segment size).
+
+    Smaller c_Δ means a finer piecewise-linear approximation of f and a
+    solution closer to the continuous optimum, at O(κ·l·log l) cost.
+    Expect: error roughly flat until c_Δ gets coarse, adaptation time
+    falling as c_Δ grows.
+    """
+    import time as _time
+
+    from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
+
+    scenario = scale.scenario()
+    trace = scenario.trace
+    result = ExperimentResult(
+        experiment_id="ablation-increment",
+        title="Greedy increment c_delta: accuracy vs adaptation cost",
+        x_label="c_delta (m)",
+        x=list(increments),
+        notes="error should stay near-flat until c_delta is coarse; "
+        "adaptation time falls with c_delta (fewer segments kappa)",
+    )
+    errors, times = [], []
+    for increment in increments:
+        config = scale.lira_config(increment=increment)
+        policy = make_policies(scenario, config, include=("lira",))["lira"]
+        sim = Simulation(
+            trace,
+            scenario.queries,
+            policy,
+            SimulationConfig(z=z, adapt_every=scale.adapt_every, seed=scale.seed),
+        )
+        res = sim.run()
+        errors.append(res.mean_containment_error)
+        # Time one standalone adaptation for the cost column.
+        grid = StatisticsGrid.from_snapshot(
+            trace.bounds, config.resolved_alpha, trace.snapshot(0),
+            trace.speeds(0), scenario.queries,
+        )
+        shedder = LiraLoadShedder(config, scenario.reduction)
+        started = _time.perf_counter()
+        shedder.adapt(grid)
+        times.append((_time.perf_counter() - started) * 1000.0)
+    result.add_series("E_rr^C", errors)
+    result.add_series("adaptation time (ms)", times)
+    return result
+
+
+def run_ablation_alpha_rule(
+    scale: ExperimentScale = MEDIUM,
+    alphas: tuple[int, ...] = (8, 16, 32, 64, 128),
+    z: float = 0.5,
+) -> ExperimentResult:
+    """LIRA error vs statistics-grid resolution α at fixed l."""
+    scenario = scale.scenario()
+    rule_alpha = auto_alpha(scale.l)
+    result = ExperimentResult(
+        experiment_id="ablation-alpha",
+        title=f"LIRA containment error vs alpha at l={scale.l} "
+        f"(sizing rule gives alpha={rule_alpha})",
+        x_label="alpha",
+        x=[float(a) for a in alphas],
+        notes="error should stop improving at/near the rule's alpha",
+    )
+    errors = []
+    for alpha in alphas:
+        config = scale.lira_config(alpha=alpha)
+        results = run_policy_suite(scenario, config, z, scale, include=("lira",))
+        errors.append(results["lira"].mean_containment_error)
+    result.add_series("E_rr^C", errors)
+    return result

@@ -1,0 +1,140 @@
+"""Shared experiment result structures and formatting.
+
+Every experiment module produces an :class:`ExperimentResult`: named
+series over a common x-axis, ready to print as the rows the paper's
+figure plots (or a table).  No plotting dependency — the harness prints
+data; the *shape* comparison against the paper lives in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Series:
+    """One line of a figure: a named y-sequence over the x-axis."""
+
+    name: str
+    y: list[float]
+
+    def __post_init__(self) -> None:
+        self.y = [float(v) for v in self.y]
+
+
+@dataclass
+class ExperimentResult:
+    """All data needed to regenerate one paper figure or table."""
+
+    experiment_id: str
+    title: str
+    x_label: str
+    x: list[float]
+    series: list[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def add_series(self, name: str, y) -> None:
+        values = list(np.asarray(y, dtype=np.float64))
+        if len(values) != len(self.x):
+            raise ValueError(
+                f"series '{name}' has {len(values)} points, x-axis has {len(self.x)}"
+            )
+        self.series.append(Series(name=name, y=values))
+
+    def get_series(self, name: str) -> Series:
+        for s in self.series:
+            if s.name == name:
+                return s
+        raise KeyError(f"no series named '{name}'")
+
+    def format_table(self) -> str:
+        """Render as an aligned text table (x column + one per series)."""
+        headers = [self.x_label] + [s.name for s in self.series]
+        rows = []
+        for i, x_val in enumerate(self.x):
+            row = [_fmt(x_val)] + [_fmt(s.y[i]) for s in self.series]
+            rows.append(row)
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers)),
+            "  ".join("-" * widths[c] for c in range(len(headers))),
+        ]
+        for row in rows:
+            lines.append("  ".join(row[c].ljust(widths[c]) for c in range(len(row))))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+    def to_csv(self) -> str:
+        """Render as CSV (x column first, one column per series)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([self.x_label] + [s.name for s in self.series])
+        for i, x_val in enumerate(self.x):
+            writer.writerow([x_val] + [s.y[i] for s in self.series])
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Render as a JSON document with full metadata."""
+        import json
+
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "x_label": self.x_label,
+                "x": self.x,
+                "series": [{"name": s.name, "y": s.y} for s in self.series],
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavored markdown table."""
+        headers = [self.x_label] + [s.name for s in self.series]
+        lines = [
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for i, x_val in enumerate(self.x):
+            row = [_fmt(x_val)] + [_fmt(s.y[i]) for s in self.series]
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def save(self, path) -> None:
+        """Write to disk; format chosen by extension (.csv/.json/.md/.txt)."""
+        from pathlib import Path
+
+        path = Path(path)
+        renderers = {
+            ".csv": self.to_csv,
+            ".json": self.to_json,
+            ".md": self.to_markdown,
+            ".txt": self.format_table,
+        }
+        if path.suffix not in renderers:
+            raise ValueError(f"unsupported extension: {path.suffix}")
+        path.write_text(renderers[path.suffix]() + "\n")
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if value == int(value) and abs(value) < 1e7:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.1f}"
+    if abs(value) >= 0.01:
+        return f"{value:.4g}"
+    return f"{value:.3e}"

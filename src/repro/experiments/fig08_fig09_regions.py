@@ -1,0 +1,74 @@
+"""Figures 8 and 9: effect of the number of shedding regions l.
+
+* Figure 8 — Lira-Grid's containment error relative to LIRA as l grows,
+  for the three query distributions (z = 0.5).  Expected shape:
+  Lira-Grid is worse (ratio > 1) at moderate l and catches up at large
+  l, where uniform partitioning reaches sufficient granularity.
+* Figure 9 — LIRA's containment error versus l for several throttle
+  fractions.  Expected shape: error falls with l and stabilizes; the
+  reduction is more pronounced for larger z.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import MEDIUM, ExperimentScale, run_policy_suite
+from repro.queries import QueryDistribution
+
+DEFAULT_LS = (4, 16, 49, 100, 250)
+
+
+def run_fig08(
+    scale: ExperimentScale = MEDIUM,
+    ls: tuple[int, ...] = DEFAULT_LS,
+    z: float = 0.5,
+) -> ExperimentResult:
+    """Lira-Grid E_rr^C relative to LIRA vs l, three distributions."""
+    result = ExperimentResult(
+        experiment_id="fig08",
+        title="Lira-Grid containment error relative to LIRA vs number of regions",
+        x_label="l",
+        x=[float(l) for l in ls],
+        notes="values > 1 mean region-aware partitioning wins",
+    )
+    for distribution in (
+        QueryDistribution.PROPORTIONAL,
+        QueryDistribution.INVERSE,
+        QueryDistribution.RANDOM,
+    ):
+        scenario = scale.scenario(distribution=distribution)
+        ratios = []
+        for l in ls:
+            config = scale.lira_config(l=l)
+            results = run_policy_suite(
+                scenario, config, z, scale, include=("lira", "lira-grid")
+            )
+            lira_err = results["lira"].mean_containment_error
+            grid_err = results["lira-grid"].mean_containment_error
+            ratios.append(grid_err / lira_err if lira_err > 0 else float("inf"))
+        result.add_series(distribution.value, ratios)
+    return result
+
+
+def run_fig09(
+    scale: ExperimentScale = MEDIUM,
+    ls: tuple[int, ...] = DEFAULT_LS,
+    zs: tuple[float, ...] = (0.4, 0.5, 0.6, 0.75),
+) -> ExperimentResult:
+    """LIRA E_rr^C vs l for several throttle fractions (proportional)."""
+    scenario = scale.scenario()
+    result = ExperimentResult(
+        experiment_id="fig09",
+        title="LIRA containment error vs number of shedding regions",
+        x_label="l",
+        x=[float(l) for l in ls],
+        notes="error should fall with l then stabilize; stronger effect at larger z",
+    )
+    for z in zs:
+        errors = []
+        for l in ls:
+            config = scale.lira_config(l=l)
+            results = run_policy_suite(scenario, config, z, scale, include=("lira",))
+            errors.append(results["lira"].mean_containment_error)
+        result.add_series(f"z={z}", errors)
+    return result

@@ -1,0 +1,77 @@
+"""Figures 10 and 11: effect of the fairness threshold Δ⇔.
+
+* Figure 10 — standard deviation (D_ev^C) and coefficient of variance
+  (C_ov^C) of containment error for LIRA vs Uniform Δ as Δ⇔ sweeps,
+  z = 0.75.  Paper shape: LIRA's D_ev^C *decreases* with a looser
+  fairness threshold and stays below Uniform Δ's, while its C_ov^C
+  increases (Uniform Δ is "more fair" relative to its own larger mean).
+* Figure 11 — LIRA's mean position error versus Δ⇔ for several z.
+  Paper shape: insensitive near z ≈ small (everything at Δ⊣) and
+  z ≈ 1 (little shedding needed); most sensitive in between.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import MEDIUM, ExperimentScale, run_policy_suite
+
+DEFAULT_FAIRNESS = (10.0, 25.0, 50.0, 75.0, 95.0)
+
+
+def run_fig10(
+    scale: ExperimentScale = MEDIUM,
+    fairness_values: tuple[float, ...] = DEFAULT_FAIRNESS,
+    z: float = 0.75,
+) -> ExperimentResult:
+    """Fairness metrics (D_ev^C, C_ov^C) for LIRA and Uniform Δ vs Δ⇔."""
+    scenario = scale.scenario()
+    uniform_results = run_policy_suite(
+        scenario, scale.lira_config(), z, scale, include=("uniform",)
+    )["uniform"]
+    u_dev = uniform_results.containment_fairness.std_dev
+    u_cov = uniform_results.containment_fairness.coefficient_of_variance
+
+    lira_dev, lira_cov = [], []
+    for fairness in fairness_values:
+        config = scale.lira_config(fairness=fairness)
+        results = run_policy_suite(scenario, config, z, scale, include=("lira",))
+        stats = results["lira"].containment_fairness
+        lira_dev.append(stats.std_dev)
+        lira_cov.append(stats.coefficient_of_variance)
+
+    result = ExperimentResult(
+        experiment_id="fig10",
+        title="Fairness in query result accuracy vs fairness threshold (z=%.2f)" % z,
+        x_label="fairness threshold (m)",
+        x=list(fairness_values),
+        notes="Uniform-Delta rows are constant (it has no fairness knob)",
+    )
+    result.add_series("LIRA D_ev^C", lira_dev)
+    result.add_series("Uniform D_ev^C", [u_dev] * len(fairness_values))
+    result.add_series("LIRA C_ov^C", lira_cov)
+    result.add_series("Uniform C_ov^C", [u_cov] * len(fairness_values))
+    return result
+
+
+def run_fig11(
+    scale: ExperimentScale = MEDIUM,
+    fairness_values: tuple[float, ...] = DEFAULT_FAIRNESS,
+    zs: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
+) -> ExperimentResult:
+    """LIRA mean position error vs Δ⇔ for several throttle fractions."""
+    scenario = scale.scenario()
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Impact of fairness threshold on E_rr^P for different z",
+        x_label="fairness threshold (m)",
+        x=list(fairness_values),
+        notes="sensitivity to fairness should peak at intermediate z",
+    )
+    for z in zs:
+        errors = []
+        for fairness in fairness_values:
+            config = scale.lira_config(fairness=fairness)
+            results = run_policy_suite(scenario, config, z, scale, include=("lira",))
+            errors.append(results["lira"].mean_position_error)
+        result.add_series(f"z={z}", errors)
+    return result

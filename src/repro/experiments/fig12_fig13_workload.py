@@ -1,0 +1,71 @@
+"""Figures 12 and 13: effect of workload shape.
+
+* Figure 12 — Uniform Δ's containment error relative to LIRA versus l,
+  for query-to-node ratios m/n ∈ {0.01, 0.1} (z = 0.5).  Paper shape:
+  LIRA's advantage is an order of magnitude larger at m/n = 0.01
+  (many query-free regions to shed from) but remains ~2x at m/n = 0.1.
+* Figure 13 — LIRA's position and containment error versus the query
+  side-length parameter w (z = 0.5).  Paper shape: E_rr^P grows with w
+  (larger queries leave less room to shed without touching results)
+  while E_rr^C falls (set-based error dilutes in larger result sets).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import MEDIUM, ExperimentScale, run_policy_suite
+
+
+def run_fig12(
+    scale: ExperimentScale = MEDIUM,
+    ls: tuple[int, ...] = (4, 16, 49, 100, 250),
+    mn_ratios: tuple[float, ...] = (0.01, 0.1),
+    z: float = 0.5,
+) -> ExperimentResult:
+    """Uniform-Δ E_rr^C relative to LIRA vs l, for two m/n ratios."""
+    result = ExperimentResult(
+        experiment_id="fig12",
+        title="Uniform-Delta containment error relative to LIRA vs l, by m/n",
+        x_label="l",
+        x=[float(l) for l in ls],
+        notes="LIRA's advantage should be much larger at small m/n",
+    )
+    for mn in mn_ratios:
+        scenario = scale.scenario(mn_ratio=mn)
+        ratios = []
+        for l in ls:
+            config = scale.lira_config(l=l)
+            results = run_policy_suite(
+                scenario, config, z, scale, include=("lira", "uniform")
+            )
+            lira_err = results["lira"].mean_containment_error
+            uni_err = results["uniform"].mean_containment_error
+            ratios.append(uni_err / lira_err if lira_err > 0 else float("inf"))
+        result.add_series(f"m/n={mn}", ratios)
+    return result
+
+
+def run_fig13(
+    scale: ExperimentScale = MEDIUM,
+    side_lengths: tuple[float, ...] = (250.0, 500.0, 1000.0, 2000.0, 3000.0),
+    z: float = 0.5,
+) -> ExperimentResult:
+    """LIRA E_rr^P and E_rr^C vs query side length parameter w."""
+    result = ExperimentResult(
+        experiment_id="fig13",
+        title="Impact of query side length on LIRA errors (z=%.2f)" % z,
+        x_label="w (m)",
+        x=list(side_lengths),
+        notes="position error should rise with w; containment error should fall",
+    )
+    pos_errors, cont_errors = [], []
+    for w in side_lengths:
+        scenario = scale.scenario(side_length=w)
+        results = run_policy_suite(
+            scenario, scale.lira_config(), z, scale, include=("lira",)
+        )
+        pos_errors.append(results["lira"].mean_position_error)
+        cont_errors.append(results["lira"].mean_containment_error)
+    result.add_series("E_rr^P (m)", pos_errors)
+    result.add_series("E_rr^C", cont_errors)
+    return result

@@ -1,0 +1,55 @@
+"""Figure 14: server-side cost of configuring LIRA.
+
+Times one full adaptation step (GRIDREDUCE + GREEDYINCREMENT over a
+fresh region hierarchy) as a function of the number of shedding regions
+l, for several statistics-grid resolutions α.  Paper shape: cost is the
+sum of an α²-driven floor (Stage I aggregation) and an l·log l term
+(drill-down + throttler setting); even the largest configuration is a
+tiny fraction of a realistic adaptation period.
+
+Absolute milliseconds differ from the paper's Java/Pentium-4 numbers;
+the scaling shape is the reproduced object.
+"""
+
+from __future__ import annotations
+
+from repro.core import AnalyticReduction, LiraConfig, LiraLoadShedder, StatisticsGrid
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import MEDIUM, ExperimentScale
+from repro.metrics.cost import time_adaptation
+
+
+def run_fig14(
+    scale: ExperimentScale = MEDIUM,
+    ls: tuple[int, ...] = (10, 49, 100, 250, 500),
+    alphas: tuple[int, ...] = (32, 64, 128, 256),
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Adaptation wall-clock time (ms) vs l for several α."""
+    scenario = scale.scenario()
+    trace = scenario.trace
+    result = ExperimentResult(
+        experiment_id="fig14",
+        title="Server-side cost of configuring LIRA (adaptation time, ms)",
+        x_label="l",
+        x=[float(l) for l in ls],
+        notes="expect ~alpha^2 floor plus l*log(l) growth",
+    )
+    for alpha in alphas:
+        grid = StatisticsGrid.from_snapshot(
+            trace.bounds,
+            alpha,
+            trace.snapshot(0),
+            trace.speeds(0),
+            scenario.queries,
+        )
+        timings = []
+        for l in ls:
+            config = LiraConfig(l=l, alpha=alpha, z=0.5)
+            shedder = LiraLoadShedder(
+                config, AnalyticReduction(config.delta_min, config.delta_max)
+            )
+            timing = time_adaptation(shedder, grid, repeats=repeats)
+            timings.append(timing.mean * 1000.0)
+        result.add_series(f"alpha={alpha}", timings)
+    return result

@@ -1,0 +1,79 @@
+"""ASCII chart rendering for experiment results.
+
+The experiment harness is terminal-first (no plotting dependency);
+``render_ascii_chart`` turns an :class:`~repro.experiments.base
+.ExperimentResult` into a line chart good enough to eyeball the shapes
+the paper's figures show.  Used by ``python -m repro.experiments
+<exp> --plot``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.base import ExperimentResult
+
+#: Plot glyphs, one per series (cycled if there are more series).
+GLYPHS = "*o+x#@%&"
+
+
+def render_ascii_chart(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """Render the result's series as a terminal line chart.
+
+    ``logy`` applies a log10 y-axis (useful for the relative-error
+    figures whose paper originals are log-scale).  Non-finite values
+    are skipped.  Returns a string; print it.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4")
+    points = []  # (series_index, x, y)
+    for s_idx, series in enumerate(result.series):
+        for x, y in zip(result.x, series.y):
+            if _finite(x) and _finite(y) and (not logy or y > 0):
+                points.append((s_idx, float(x), float(y)))
+    if not points:
+        return "(no finite data to plot)"
+
+    ys = [math.log10(p[2]) if logy else p[2] for p in points]
+    xs = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (s_idx, x, y), y_t in zip(points, ys):
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y_t - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = GLYPHS[s_idx % len(GLYPHS)]
+
+    y_top = f"{(10 ** y_hi) if logy else y_hi:.3g}"
+    y_bot = f"{(10 ** y_lo) if logy else y_lo:.3g}"
+    label_w = max(len(y_top), len(y_bot))
+    lines = [f"{result.title}" + ("  [log y]" if logy else "")]
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label.rjust(label_w)} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(" " * (label_w + 2) + x_axis)
+    lines.append(
+        " " * (label_w + 2)
+        + f"x: {result.x_label}   "
+        + "  ".join(
+            f"{GLYPHS[i % len(GLYPHS)]}={s.name}"
+            for i, s in enumerate(result.series)
+        )
+    )
+    return "\n".join(lines)
+
+
+def _finite(v: float) -> bool:
+    return isinstance(v, (int, float)) and math.isfinite(v)

@@ -1,0 +1,55 @@
+"""Multi-seed replication of experiments.
+
+Every experiment is deterministic given its scale's seed; replication
+re-runs it across seeds (fresh road network, trace, workload, and
+simulator randomness each time) and aggregates matching series into
+mean and standard-deviation series — the error bars the single-seed
+tables lack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import ExperimentScale
+
+
+def replicate(
+    runner: Callable[..., ExperimentResult],
+    scale: ExperimentScale,
+    seeds: tuple[int, ...] = (7, 17, 27),
+    **runner_kwargs,
+) -> ExperimentResult:
+    """Run ``runner(scale=...)`` once per seed and aggregate.
+
+    All runs must produce the same x-axis and series names (they do, by
+    construction — only the seed changes).  The aggregate has, per
+    original series, a ``<name> (mean)`` and a ``<name> (std)`` series.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    results = [
+        runner(scale=replace(scale, seed=seed), **runner_kwargs) for seed in seeds
+    ]
+    first = results[0]
+    for other in results[1:]:
+        if other.x != first.x:
+            raise ValueError("replicas disagree on the x-axis")
+        if [s.name for s in other.series] != [s.name for s in first.series]:
+            raise ValueError("replicas disagree on series names")
+    aggregate = ExperimentResult(
+        experiment_id=first.experiment_id,
+        title=f"{first.title} (mean over {len(seeds)} seeds)",
+        x_label=first.x_label,
+        x=list(first.x),
+        notes=f"seeds: {list(seeds)}; " + first.notes,
+    )
+    for idx, series in enumerate(first.series):
+        stacked = np.array([r.series[idx].y for r in results], dtype=np.float64)
+        aggregate.add_series(f"{series.name} (mean)", np.nanmean(stacked, axis=0))
+        aggregate.add_series(f"{series.name} (std)", np.nanstd(stacked, axis=0))
+    return aggregate

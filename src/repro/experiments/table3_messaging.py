@@ -1,0 +1,76 @@
+"""Table 3: messaging cost — shedding regions known per base station.
+
+Computes the average number of shedding regions intersecting a base
+station's coverage area as a function of the coverage radius (the
+paper's 1-5 km sweep), plus the paper's density-dependent placement
+scheme and the implied broadcast payload size, compared with the
+1472-byte UDP-over-Ethernet yardstick.
+"""
+
+from __future__ import annotations
+
+from repro.core import RegionHierarchy, StatisticsGrid, greedy_increment, grid_reduce
+from repro.core.plan import SheddingPlan
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import MEDIUM, ExperimentScale
+from repro.metrics.cost import messaging_cost
+from repro.server import (
+    UDP_PAYLOAD_BYTES,
+    place_density_dependent_stations,
+    place_uniform_stations,
+)
+
+
+def _build_plan(scale: ExperimentScale, z: float) -> SheddingPlan:
+    scenario = scale.scenario()
+    trace = scenario.trace
+    grid = StatisticsGrid.from_snapshot(
+        trace.bounds, scale.alpha, trace.snapshot(0), trace.speeds(0), scenario.queries
+    )
+    hierarchy = RegionHierarchy(grid)
+    partitioning = grid_reduce(hierarchy, scale.l, z, scenario.reduction.piecewise(95))
+    outcome = greedy_increment(
+        partitioning.regions, scenario.reduction, z, increment=1.0, fairness=50.0
+    )
+    return SheddingPlan.from_regions(
+        trace.bounds, partitioning.regions, outcome.thresholds, scale.alpha
+    )
+
+
+def run_table3(
+    scale: ExperimentScale = MEDIUM,
+    radii_km: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    z: float = 0.5,
+) -> ExperimentResult:
+    """Regions-per-station vs coverage radius, plus density-dependent row."""
+    plan = _build_plan(scale, z)
+    scenario = scale.scenario()
+    regions_per_station = []
+    payload_bytes = []
+    for radius_km in radii_km:
+        stations = place_uniform_stations(scenario.trace.bounds, radius_km * 1000.0)
+        cost = messaging_cost(stations, plan)
+        regions_per_station.append(cost.regions_per_station)
+        payload_bytes.append(cost.broadcast_bytes)
+
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Shedding regions known per base station vs coverage radius",
+        x_label="radius (km)",
+        x=list(radii_km),
+        notes=f"UDP payload yardstick = {UDP_PAYLOAD_BYTES} bytes",
+    )
+    result.add_series("regions per station", regions_per_station)
+    result.add_series("broadcast bytes", payload_bytes)
+
+    density_stations = place_density_dependent_stations(
+        scenario.trace.bounds, scenario.trace.snapshot(0)
+    )
+    density_cost = messaging_cost(density_stations, plan)
+    result.notes += (
+        f" | density-dependent placement: {len(density_stations)} stations, "
+        f"{density_cost.regions_per_station:.1f} regions/station, "
+        f"{density_cost.broadcast_bytes:.0f} bytes "
+        f"(fits one packet: {density_cost.fits_in_one_packet})"
+    )
+    return result

@@ -1,0 +1,100 @@
+"""Figures 4-7: query-result error versus throttle fraction z.
+
+* Figure 4 — mean position error E_rr^P, proportional queries;
+* Figure 5 — mean containment error E_rr^C, proportional queries;
+* Figure 6 — E_rr^C, inverse query distribution;
+* Figure 7 — E_rr^C, random query distribution.
+
+Each figure plots the four policies, both relative to LIRA (the paper's
+left axis) and absolute (right axis).  Expected shape: LIRA best at
+every z; relative gaps explode as z → 1 (LIRA sheds from query-free
+regions at nearly zero error) and collapse to 1 as z approaches the
+point where all threshold policies converge to ∀Δᵢ = Δ⊣.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import (
+    MEDIUM,
+    ExperimentScale,
+    relative_to,
+    run_policy_suite,
+)
+from repro.queries import QueryDistribution
+
+DEFAULT_ZS = (0.3, 0.4, 0.5, 0.6, 0.75, 0.9)
+POLICY_ORDER = ("lira", "lira-grid", "uniform", "random-drop")
+
+
+def run_zsweep(
+    metric: str,
+    distribution: QueryDistribution,
+    scale: ExperimentScale = MEDIUM,
+    zs: tuple[float, ...] = DEFAULT_ZS,
+) -> ExperimentResult:
+    """Sweep z for all four policies; report absolute + relative ``metric``.
+
+    ``metric`` is a :class:`~repro.sim.SimulationResult` attribute:
+    ``mean_position_error`` or ``mean_containment_error``.
+    """
+    scenario = scale.scenario(distribution=distribution)
+    config = scale.lira_config()
+    absolute: dict[str, list[float]] = {name: [] for name in POLICY_ORDER}
+    relative: dict[str, list[float]] = {name: [] for name in POLICY_ORDER}
+    for z in zs:
+        results = run_policy_suite(scenario, config, z, scale)
+        rel = relative_to(results, metric)
+        for name in POLICY_ORDER:
+            absolute[name].append(getattr(results[name], metric))
+            relative[name].append(rel[name])
+    label = "E_rr^P (m)" if metric == "mean_position_error" else "E_rr^C"
+    result = ExperimentResult(
+        experiment_id="zsweep",
+        title=f"{label} vs throttle fraction ({distribution.value} queries)",
+        x_label="z",
+        x=list(zs),
+        notes="relative series are policy error / LIRA error",
+    )
+    for name in POLICY_ORDER:
+        result.add_series(f"{name} abs", absolute[name])
+    for name in POLICY_ORDER:
+        if name != "lira":
+            result.add_series(f"{name} rel", relative[name])
+    return result
+
+
+def run_fig04(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+    """Figure 4: position error vs z, proportional distribution."""
+    result = run_zsweep(
+        "mean_position_error", QueryDistribution.PROPORTIONAL, scale, zs
+    )
+    result.experiment_id = "fig04"
+    return result
+
+
+def run_fig05(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+    """Figure 5: containment error vs z, proportional distribution."""
+    result = run_zsweep(
+        "mean_containment_error", QueryDistribution.PROPORTIONAL, scale, zs
+    )
+    result.experiment_id = "fig05"
+    return result
+
+
+def run_fig06(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+    """Figure 6: containment error vs z, inverse distribution."""
+    result = run_zsweep(
+        "mean_containment_error", QueryDistribution.INVERSE, scale, zs
+    )
+    result.experiment_id = "fig06"
+    return result
+
+
+def run_fig07(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+    """Figure 7: containment error vs z, random distribution."""
+    result = run_zsweep(
+        "mean_containment_error", QueryDistribution.RANDOM, scale, zs
+    )
+    result.experiment_id = "fig07"
+    return result

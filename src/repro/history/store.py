@@ -1,0 +1,109 @@
+"""Server-side trajectory history.
+
+The paper's fairness threshold Δ⇔ exists because "mobile CQ systems
+supporting historic and ad-hoc queries" need *every* node tracked with
+bounded inaccuracy — not just nodes inside current CQ regions.  This
+module is that support: an append-only archive of the motion models the
+server received, able to reconstruct the believed position of any node
+at any past time (the model that was active then, extrapolated).
+
+The reconstruction error at time ``t`` is bounded by the Δ the node was
+using around ``t`` — which is exactly what the fairness threshold caps.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class _NodeHistory:
+    """Per-node archive of received reports, sorted by report time."""
+
+    times: list[float] = field(default_factory=list)
+    positions: list[tuple[float, float]] = field(default_factory=list)
+    velocities: list[tuple[float, float]] = field(default_factory=list)
+
+    def append(self, t: float, pos: tuple[float, float], vel: tuple[float, float]) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError(
+                f"reports must arrive in time order (got {t} after {self.times[-1]})"
+            )
+        self.times.append(t)
+        self.positions.append(pos)
+        self.velocities.append(vel)
+
+    def model_index_at(self, t: float) -> int | None:
+        """Index of the report whose model was active at time ``t``."""
+        idx = bisect.bisect_right(self.times, t) - 1
+        return idx if idx >= 0 else None
+
+    def position_at(self, t: float) -> tuple[float, float] | None:
+        idx = self.model_index_at(t)
+        if idx is None:
+            return None
+        dt = t - self.times[idx]
+        px, py = self.positions[idx]
+        vx, vy = self.velocities[idx]
+        return (px + vx * dt, py + vy * dt)
+
+
+class TrajectoryStore:
+    """Archive of all received motion models, per node.
+
+    ``record`` is called with the same batches the node table ingests;
+    ``believed_position`` / ``believed_snapshot`` reconstruct the
+    server's view at any past time.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self._histories = [_NodeHistory() for _ in range(n_nodes)]
+        self.total_reports = 0
+
+    def record(
+        self,
+        t: float,
+        node_ids: np.ndarray,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+    ) -> None:
+        """Archive a batch of reports received at time ``t``."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        for k, node_id in enumerate(node_ids):
+            self._histories[int(node_id)].append(
+                t,
+                (float(positions[k, 0]), float(positions[k, 1])),
+                (float(velocities[k, 0]), float(velocities[k, 1])),
+            )
+        self.total_reports += int(node_ids.size)
+
+    def reports_for(self, node_id: int) -> int:
+        """Number of archived reports for one node."""
+        return len(self._histories[node_id].times)
+
+    def believed_position(self, node_id: int, t: float) -> tuple[float, float] | None:
+        """The server's belief of where ``node_id`` was at time ``t``.
+
+        ``None`` if no model was active yet (before the node's first
+        report).
+        """
+        return self._histories[node_id].position_at(t)
+
+    def believed_snapshot(self, t: float) -> np.ndarray:
+        """Believed positions of all nodes at time ``t``; NaN where unknown."""
+        out = np.full((self.n_nodes, 2), np.nan)
+        for node_id, history in enumerate(self._histories):
+            pos = history.position_at(t)
+            if pos is not None:
+                out[node_id] = pos
+        return out
+
+    def first_report_time(self, node_id: int) -> float | None:
+        history = self._histories[node_id]
+        return history.times[0] if history.times else None

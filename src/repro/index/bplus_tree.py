@@ -1,0 +1,276 @@
+"""A from-scratch B+-tree: sorted map with range scans.
+
+The substrate beneath the B^x-tree (``repro.index.bx_tree``): the
+paper's related work [8] indexes moving objects in "a query and update
+efficient B+-tree" keyed by space-filling-curve values.  This is a
+textbook B+-tree — internal nodes route, leaves hold (key, value) pairs
+and are singly linked for range scans; insertion splits on overflow and
+deletion borrows/merges on underflow.
+
+Keys may be any mutually comparable values (ints, tuples, ...).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []
+        self.values: list[Any] = []
+        self.next: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: list[Any] = []       # separator keys; len == len(children) - 1
+        self.children: list[Any] = []   # _Leaf or _Internal
+
+
+class BPlusTree:
+    """A B+-tree mapping unique, ordered keys to values.
+
+    ``order`` is the maximum number of keys per node (fan-out − 1);
+    nodes split at ``order + 1`` keys and merge below ``order // 2``.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ValueError("order must be >= 3")
+        self.order = order
+        self._min_keys = order // 2
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Any) -> bool:
+        leaf, idx = self._locate(key)
+        return idx < len(leaf.keys) and leaf.keys[idx] == key
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def _locate(self, key: Any) -> tuple[_Leaf, int]:
+        """The leaf that does/should contain ``key`` and the slot index."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        return node, bisect.bisect_left(node.keys, key)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        leaf, idx = self._locate(key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def range_scan(self, lo: Any, hi: Any) -> Iterator[tuple[Any, Any]]:
+        """Yield (key, value) for all keys in ``[lo, hi]`` in order."""
+        leaf, idx = self._locate(lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key > hi:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a key (or replace the value of an existing key)."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(self, node, key, value):
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) <= self.order:
+                return None
+            return self._split_leaf(node)
+        # Internal node.
+        child_idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[child_idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(child_idx, sep)
+        node.children.insert(child_idx + 1, right)
+        if len(node.keys) <= self.order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Any) -> Any:
+        """Remove a key, returning its value; ``KeyError`` if absent."""
+        value = self._delete(self._root, key)
+        if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        return value
+
+    def _delete(self, node, key):
+        if isinstance(node, _Leaf):
+            idx = bisect.bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                raise KeyError(key)
+            node.keys.pop(idx)
+            value = node.values.pop(idx)
+            self._size -= 1
+            return value
+        child_idx = bisect.bisect_right(node.keys, key)
+        value = self._delete(node.children[child_idx], key)
+        self._rebalance(node, child_idx)
+        return value
+
+    def _rebalance(self, parent: _Internal, child_idx: int) -> None:
+        child = parent.children[child_idx]
+        child_keys = child.keys
+        if len(child_keys) >= self._min_keys:
+            return
+        left = parent.children[child_idx - 1] if child_idx > 0 else None
+        right = (
+            parent.children[child_idx + 1]
+            if child_idx + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and len(left.keys) > self._min_keys:
+            self._borrow_from_left(parent, child_idx, left, child)
+        elif right is not None and len(right.keys) > self._min_keys:
+            self._borrow_from_right(parent, child_idx, child, right)
+        elif left is not None:
+            self._merge(parent, child_idx - 1, left, child)
+        elif right is not None:
+            self._merge(parent, child_idx, child, right)
+
+    def _borrow_from_left(self, parent, child_idx, left, child):
+        if isinstance(child, _Leaf):
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[child_idx - 1] = child.keys[0]
+        else:
+            child.keys.insert(0, parent.keys[child_idx - 1])
+            parent.keys[child_idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent, child_idx, child, right):
+        if isinstance(child, _Leaf):
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[child_idx] = right.keys[0]
+        else:
+            child.keys.append(parent.keys[child_idx])
+            parent.keys[child_idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge(self, parent, left_idx, left, right):
+        if isinstance(left, _Leaf):
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def height(self) -> int:
+        height, node = 1, self._root
+        while isinstance(node, _Internal):
+            height += 1
+            node = node.children[0]
+        return height
+
+    def validate(self) -> None:
+        """Check structural invariants; ``AssertionError`` on damage."""
+        leaves: list[_Leaf] = []
+
+        def walk(node, lo, hi, depth, is_root):
+            if isinstance(node, _Leaf):
+                leaves.append(node)
+                assert node.keys == sorted(node.keys)
+                for k in node.keys:
+                    assert (lo is None or k >= lo) and (hi is None or k <= hi)
+                return depth
+            assert node.keys == sorted(node.keys)
+            assert len(node.children) == len(node.keys) + 1
+            if not is_root:
+                assert len(node.keys) >= 1
+            depths = set()
+            bounds = [lo] + list(node.keys) + [hi]
+            for i, child in enumerate(node.children):
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1, False))
+            assert len(depths) == 1, "unbalanced subtree"
+            return depths.pop()
+
+        walk(self._root, None, None, 1, True)
+        # Leaf chain covers exactly the leaves, in order.
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        chained = []
+        while node is not None:
+            chained.append(node)
+            node = node.next
+        assert chained == leaves, "leaf chain broken"
+        assert sum(len(l.keys) for l in leaves) == self._size

@@ -1,0 +1,194 @@
+"""The B^x-tree: B+-tree indexing of moving objects (Jensen et al. [8]).
+
+The second update-efficient moving-object index the paper cites.  Core
+ideas, reproduced here:
+
+* an object's position is extrapolated to its partition's **label
+  timestamp** and mapped to a 1-D key by a **Z-order (Morton) curve**
+  over a 2^λ × 2^λ grid;
+* keys live in a standard **B+-tree** (``repro.index.bplus_tree``), so
+  updates are cheap B+-tree delete/insert pairs;
+* time is split into **phases**; each update lands in the partition of
+  its report time, so the index rolls forward without restructuring;
+* a timestamp range query expands the query window per partition by the
+  maximum object speed times the time gap to the label timestamp
+  (velocity enlargement), enumerates the Z-order runs covering the
+  enlarged window, range-scans them, and filters candidates exactly.
+
+Keys are ``(partition, z_value, object_id)`` tuples — the object id
+disambiguates objects sharing a grid cell.
+"""
+
+from __future__ import annotations
+
+from repro.geo import Rect
+from repro.index.bplus_tree import BPlusTree
+from repro.index.tpr_tree import MovingObject
+
+
+def interleave_bits(x: int, y: int, bits: int) -> int:
+    """Morton/Z-order interleaving of two ``bits``-wide integers."""
+    z = 0
+    for b in range(bits):
+        z |= ((x >> b) & 1) << (2 * b)
+        z |= ((y >> b) & 1) << (2 * b + 1)
+    return z
+
+
+def z_runs(i_lo: int, i_hi: int, j_lo: int, j_hi: int, bits: int) -> list[tuple[int, int]]:
+    """Consecutive Z-value runs covering the cell rectangle (inclusive).
+
+    Enumerates the covered cells' Z-values and coalesces consecutive
+    values into ``(lo, hi)`` runs — exact, and efficient for the small
+    windows range CQs produce.
+    """
+    values = sorted(
+        interleave_bits(i, j, bits)
+        for i in range(i_lo, i_hi + 1)
+        for j in range(j_lo, j_hi + 1)
+    )
+    runs: list[tuple[int, int]] = []
+    for v in values:
+        if runs and v == runs[-1][1] + 1:
+            runs[-1] = (runs[-1][0], v)
+        else:
+            runs.append((v, v))
+    return runs
+
+
+class BxTree:
+    """B+-tree-based moving-object index with Z-order keys.
+
+    Args:
+        bounds: the monitoring region.
+        max_speed: the speed bound used for query-window enlargement
+            (objects faster than this may be missed — choose the road
+            network's top speed).
+        grid_exp: λ; positions map to a 2^λ-square grid (default 256²).
+        phase_duration: seconds per time partition.
+        order: B+-tree node capacity.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        max_speed: float,
+        grid_exp: int = 8,
+        phase_duration: float = 120.0,
+        order: int = 32,
+    ) -> None:
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        if not (1 <= grid_exp <= 16):
+            raise ValueError("grid_exp must be in [1, 16]")
+        if phase_duration <= 0:
+            raise ValueError("phase_duration must be positive")
+        self.bounds = bounds
+        self.max_speed = max_speed
+        self.grid_exp = grid_exp
+        self.phase_duration = phase_duration
+        self._side = 1 << grid_exp
+        self._cell_w = bounds.width / self._side
+        self._cell_h = bounds.height / self._side
+        self._tree = BPlusTree(order=order)
+        self._keys: dict[int, tuple] = {}
+        self._objects: dict[int, MovingObject] = {}
+        self._partition_counts: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._objects
+
+    # ------------------------------------------------------------------
+    # Key construction
+    # ------------------------------------------------------------------
+
+    def _partition_of(self, t: float) -> int:
+        return int(t // self.phase_duration)
+
+    def label_time(self, partition: int) -> float:
+        """The timestamp positions in ``partition`` are extrapolated to."""
+        return (partition + 1) * self.phase_duration
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int]:
+        i = int((x - self.bounds.x1) / self._cell_w)
+        j = int((y - self.bounds.y1) / self._cell_h)
+        return (
+            min(max(i, 0), self._side - 1),
+            min(max(j, 0), self._side - 1),
+        )
+
+    def _key_for(self, obj: MovingObject) -> tuple:
+        partition = self._partition_of(obj.time)
+        x, y = obj.position_at(self.label_time(partition))
+        i, j = self._cell_of(x, y)
+        return (partition, interleave_bits(i, j, self.grid_exp), obj.object_id)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def insert(self, obj: MovingObject) -> None:
+        """Index a new object; duplicate ids are rejected."""
+        if obj.object_id in self._objects:
+            raise KeyError(f"object {obj.object_id} already indexed; use update()")
+        key = self._key_for(obj)
+        self._tree.insert(key, obj)
+        self._keys[obj.object_id] = key
+        self._objects[obj.object_id] = obj
+        self._partition_counts[key[0]] = self._partition_counts.get(key[0], 0) + 1
+
+    def update(self, obj: MovingObject) -> None:
+        """Apply a position update (delete + insert, the B^x way)."""
+        if obj.object_id in self._objects:
+            self.delete(obj.object_id)
+        self.insert(obj)
+
+    def delete(self, object_id: int) -> MovingObject:
+        key = self._keys.pop(object_id)
+        obj = self._objects.pop(object_id)
+        self._tree.delete(key)
+        remaining = self._partition_counts[key[0]] - 1
+        if remaining:
+            self._partition_counts[key[0]] = remaining
+        else:
+            del self._partition_counts[key[0]]
+        return obj
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, rect: Rect, t: float) -> list[int]:
+        """Ids of objects whose extrapolated position at ``t`` is in ``rect``."""
+        result: list[int] = []
+        for partition in list(self._partition_counts):
+            gap = abs(t - self.label_time(partition))
+            r = self.max_speed * gap
+            expanded = Rect(
+                rect.x1 - r, rect.y1 - r, rect.x2 + r, rect.y2 + r
+            )
+            i_lo, j_lo = self._cell_of(expanded.x1, expanded.y1)
+            i_hi, j_hi = self._cell_of(expanded.x2, expanded.y2)
+            for z_lo, z_hi in z_runs(i_lo, i_hi, j_lo, j_hi, self.grid_exp):
+                for _, obj in self._tree.range_scan(
+                    (partition, z_lo, -1), (partition, z_hi, 1 << 62)
+                ):
+                    x, y = obj.position_at(t)
+                    if rect.contains_xy(x, y):
+                        result.append(obj.object_id)
+        return result
+
+    def object_ids(self) -> list[int]:
+        return list(self._objects)
+
+    def validate(self) -> None:
+        """Check index invariants (tree structure + key table coherence)."""
+        self._tree.validate()
+        assert len(self._tree) == len(self._objects) == len(self._keys)
+        assert sum(self._partition_counts.values()) == len(self._objects)
+        for object_id, key in self._keys.items():
+            stored = self._tree.get(key)
+            assert stored is not None and stored.object_id == object_id

@@ -1,0 +1,63 @@
+"""Server-side view of mobile-node positions.
+
+The node table stores, per node, the last *received* linear motion model
+and answers "where does the server believe node ``i`` is at time ``t``"
+by dead-reckoning extrapolation.  This is the state that query results
+are computed from — and the state that goes stale when updates are shed
+or dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NodeTable:
+    """Vectorized store of last-received motion models for ``n`` nodes."""
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        self.n_nodes = n_nodes
+        self._pos = np.zeros((n_nodes, 2), dtype=np.float64)
+        self._vel = np.zeros((n_nodes, 2), dtype=np.float64)
+        self._time = np.zeros(n_nodes, dtype=np.float64)
+        self._known = np.zeros(n_nodes, dtype=bool)
+        self.updates_applied = 0
+
+    def ingest(
+        self,
+        t: float,
+        node_ids: np.ndarray,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+    ) -> None:
+        """Apply a batch of received reports at time ``t``.
+
+        ``node_ids`` indexes into the table; ``positions`` and
+        ``velocities`` are the reported model parameters, one row per id.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            return
+        self._pos[node_ids] = positions
+        self._vel[node_ids] = velocities
+        self._time[node_ids] = t
+        self._known[node_ids] = True
+        self.updates_applied += int(node_ids.size)
+
+    def predict(self, t: float) -> np.ndarray:
+        """Believed positions of all nodes at time ``t``, shape ``(n, 2)``.
+
+        Nodes that have never reported predict to ``NaN`` so that
+        accuracy metrics can exclude them explicitly rather than
+        silently treating them as being at the origin.
+        """
+        predicted = self._pos + self._vel * (t - self._time)[:, None]
+        predicted[~self._known] = np.nan
+        return predicted
+
+    @property
+    def known_mask(self) -> np.ndarray:
+        """Boolean mask of nodes with at least one received report."""
+        return self._known.copy()

@@ -1,0 +1,29 @@
+"""Evaluation metrics: query-result accuracy and load-shedding cost."""
+
+from repro.metrics.accuracy import (
+    FairnessStats,
+    containment_errors,
+    fairness_stats,
+    mean_containment_error,
+    mean_position_error,
+    position_errors,
+)
+from repro.metrics.cost import (
+    AdaptationTiming,
+    MessagingCost,
+    messaging_cost,
+    time_adaptation,
+)
+
+__all__ = [
+    "AdaptationTiming",
+    "FairnessStats",
+    "MessagingCost",
+    "containment_errors",
+    "fairness_stats",
+    "mean_containment_error",
+    "mean_position_error",
+    "messaging_cost",
+    "position_errors",
+    "time_adaptation",
+]

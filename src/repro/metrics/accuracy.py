@@ -1,0 +1,112 @@
+"""Query-result accuracy metrics (paper Section 4.1.1).
+
+* **Containment error** E_rr^C — per query, the number of missing plus
+  extra result members relative to the correct result size; averaged
+  over queries.
+* **Position error** E_rr^P — per query, the mean distance between the
+  believed and true positions of the nodes in the (shed) result;
+  averaged over queries.
+* **Fairness metrics** — the standard deviation D_ev^C and coefficient
+  of variance C_ov^C of the per-query containment errors.
+
+All functions take *result sets* as index arrays so they work with any
+evaluation backend (brute force, grid index, or the server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def containment_errors(
+    true_results: list[np.ndarray], shed_results: list[np.ndarray]
+) -> np.ndarray:
+    """Per-query containment error ``(|R*∖R| + |R∖R*|) / |R*|``.
+
+    Queries whose correct result set is empty are returned as ``NaN``
+    (the paper's formula is undefined there); aggregate with
+    :func:`mean_containment_error`, which skips them.
+    """
+    if len(true_results) != len(shed_results):
+        raise ValueError("one shed result per true result is required")
+    errors = np.empty(len(true_results), dtype=np.float64)
+    for i, (true_set, shed_set) in enumerate(zip(true_results, shed_results)):
+        true_ids = set(map(int, true_set))
+        shed_ids = set(map(int, shed_set))
+        if not true_ids:
+            errors[i] = np.nan
+            continue
+        missing = len(true_ids - shed_ids)
+        extra = len(shed_ids - true_ids)
+        errors[i] = (missing + extra) / len(true_ids)
+    return errors
+
+
+def mean_containment_error(
+    true_results: list[np.ndarray], shed_results: list[np.ndarray]
+) -> float:
+    """E_rr^C: mean containment error over queries with nonempty truth."""
+    errors = containment_errors(true_results, shed_results)
+    valid = errors[~np.isnan(errors)]
+    return float(valid.mean()) if valid.size else 0.0
+
+
+def position_errors(
+    shed_results: list[np.ndarray],
+    believed_positions: np.ndarray,
+    true_positions: np.ndarray,
+) -> np.ndarray:
+    """Per-query mean position error over the nodes in each shed result.
+
+    ``believed_positions`` is the server's view (what the results were
+    computed from); ``true_positions`` the ground truth.  Queries with
+    empty results are ``NaN``.
+    """
+    believed = np.asarray(believed_positions, dtype=np.float64)
+    true = np.asarray(true_positions, dtype=np.float64)
+    errors = np.empty(len(shed_results), dtype=np.float64)
+    for i, members in enumerate(shed_results):
+        members = np.asarray(members, dtype=np.int64)
+        if members.size == 0:
+            errors[i] = np.nan
+            continue
+        distances = np.linalg.norm(believed[members] - true[members], axis=1)
+        errors[i] = float(distances.mean())
+    return errors
+
+
+def mean_position_error(
+    shed_results: list[np.ndarray],
+    believed_positions: np.ndarray,
+    true_positions: np.ndarray,
+) -> float:
+    """E_rr^P: mean position error over queries with nonempty results."""
+    errors = position_errors(shed_results, believed_positions, true_positions)
+    valid = errors[~np.isnan(errors)]
+    return float(valid.mean()) if valid.size else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class FairnessStats:
+    """Variation of per-query errors: the paper's fairness metrics."""
+
+    mean: float
+    std_dev: float
+
+    @property
+    def coefficient_of_variance(self) -> float:
+        """C_ov = D_ev / E_rr (0 when the mean error is 0)."""
+        if self.mean == 0.0:
+            return 0.0
+        return self.std_dev / self.mean
+
+
+def fairness_stats(per_query_errors: np.ndarray) -> FairnessStats:
+    """D_ev and C_ov over per-query errors (NaNs are excluded)."""
+    errors = np.asarray(per_query_errors, dtype=np.float64)
+    valid = errors[~np.isnan(errors)]
+    if valid.size == 0:
+        return FairnessStats(mean=0.0, std_dev=0.0)
+    return FairnessStats(mean=float(valid.mean()), std_dev=float(valid.std()))

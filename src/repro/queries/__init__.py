@@ -1,0 +1,22 @@
+"""Continual-query workload substrate (range CQs, spatial distributions)."""
+
+from repro.queries.io import load_workload, save_workload
+from repro.queries.range_query import RangeQuery, evaluate_queries
+from repro.queries.uncertain import (
+    UncertainResult,
+    evaluate_all_with_uncertainty,
+    evaluate_with_uncertainty,
+)
+from repro.queries.workload import QueryDistribution, generate_workload
+
+__all__ = [
+    "QueryDistribution",
+    "RangeQuery",
+    "UncertainResult",
+    "evaluate_queries",
+    "evaluate_all_with_uncertainty",
+    "evaluate_with_uncertainty",
+    "generate_workload",
+    "load_workload",
+    "save_workload",
+]

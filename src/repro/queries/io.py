@@ -1,0 +1,54 @@
+"""Query workload persistence.
+
+Workloads are part of an experiment's identity; saving them (alongside
+the trace's ``.npz``) makes runs replayable and shareable.  Format is
+plain JSON: one record per query with its id and rectangle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.geo import Rect
+from repro.queries.range_query import RangeQuery
+
+FORMAT_VERSION = 1
+
+
+def save_workload(queries: list[RangeQuery], path: str | Path) -> None:
+    """Write a workload to a JSON file."""
+    doc = {
+        "format": "repro.queries",
+        "version": FORMAT_VERSION,
+        "queries": [
+            {
+                "id": q.query_id,
+                "rect": [q.rect.x1, q.rect.y1, q.rect.x2, q.rect.y2],
+            }
+            for q in queries
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=2))
+
+
+def load_workload(path: str | Path) -> list[RangeQuery]:
+    """Read a workload written by :func:`save_workload`.
+
+    Validates the format marker and rectangle well-formedness so that a
+    truncated or foreign file fails loudly rather than producing a
+    silently wrong workload.
+    """
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != "repro.queries":
+        raise ValueError(f"{path} is not a repro workload file")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported workload version {doc.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    queries = []
+    for record in doc["queries"]:
+        x1, y1, x2, y2 = record["rect"]
+        queries.append(RangeQuery(query_id=int(record["id"]), rect=Rect(x1, y1, x2, y2)))
+    return queries

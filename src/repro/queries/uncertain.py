@@ -1,0 +1,98 @@
+"""Uncertainty-aware range query evaluation.
+
+Dead reckoning gives the server a *bounded* error: node i's true
+position is within its inaccuracy threshold Δᵢ of the believed
+position.  Because LIRA assigns every node a known Δᵢ (its region's
+update throttler), results can carry guarantees instead of being
+best-effort:
+
+* **certain** members — believed position at least Δᵢ inside the query
+  rectangle: the node is inside *no matter where it really is*;
+* **possible** members — believed position within Δᵢ of the rectangle:
+  the node *may* be inside.
+
+Soundness (certain ⊆ true ⊆ possible) holds whenever the dead-reckoning
+invariant holds, and is property-tested end-to-end against LIRA plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.queries.range_query import RangeQuery
+
+
+@dataclass(frozen=True)
+class UncertainResult:
+    """A query answer with membership guarantees."""
+
+    certain: np.ndarray
+    possible: np.ndarray
+
+    @property
+    def uncertain(self) -> np.ndarray:
+        """Possible-but-not-certain members (the boundary band)."""
+        return np.setdiff1d(self.possible, self.certain, assume_unique=True)
+
+    @property
+    def precision_floor(self) -> float:
+        """Guaranteed lower bound on result precision: |certain|/|possible|."""
+        if self.possible.size == 0:
+            return 1.0
+        return self.certain.size / self.possible.size
+
+
+def evaluate_with_uncertainty(
+    query: RangeQuery,
+    believed_positions: np.ndarray,
+    thresholds: np.ndarray,
+) -> UncertainResult:
+    """Evaluate a range query with per-node position uncertainty.
+
+    ``believed_positions`` has shape ``(n, 2)`` (NaN rows = unknown
+    nodes, excluded from ``certain`` but conservatively *included* in
+    ``possible`` only if you pass them with infinite thresholds —
+    normally unknown nodes simply do not participate).  ``thresholds``
+    is the per-node Δ bound on ``|believed − true|``.
+    """
+    believed = np.asarray(believed_positions, dtype=np.float64)
+    thresholds = np.broadcast_to(
+        np.asarray(thresholds, dtype=np.float64), (len(believed),)
+    )
+    if np.any(thresholds < 0):
+        raise ValueError("thresholds must be non-negative")
+    rect = query.rect
+    x, y = believed[:, 0], believed[:, 1]
+    known = ~np.isnan(x)
+
+    inside_margin = np.minimum(
+        np.minimum(x - rect.x1, rect.x2 - x),
+        np.minimum(y - rect.y1, rect.y2 - y),
+    )
+    certain = known & (inside_margin >= thresholds) & (inside_margin > 0)
+
+    dx = np.maximum(np.maximum(rect.x1 - x, x - rect.x2), 0.0)
+    dy = np.maximum(np.maximum(rect.y1 - y, y - rect.y2), 0.0)
+    outside_distance = np.hypot(dx, dy)
+    possible = known & (outside_distance <= thresholds) | (
+        known & (inside_margin > 0)
+    )
+
+    return UncertainResult(
+        certain=np.flatnonzero(certain),
+        possible=np.flatnonzero(possible),
+    )
+
+
+def evaluate_all_with_uncertainty(
+    queries: list[RangeQuery],
+    believed_positions: np.ndarray,
+    thresholds: np.ndarray,
+) -> list[UncertainResult]:
+    """Batch form of :func:`evaluate_with_uncertainty`."""
+    return [
+        evaluate_with_uncertainty(q, believed_positions, thresholds)
+        for q in queries
+    ]

@@ -1,0 +1,125 @@
+"""Query workload generation.
+
+Implements the paper's three spatial query distributions:
+
+* **Proportional** — query centers follow the mobile-node distribution;
+* **Inverse** — query centers follow the *inverse* of the node
+  distribution (queries concentrate where nodes are scarce);
+* **Random** — query centers are uniform over the monitoring region.
+
+Side lengths are drawn uniformly from ``[w/2, w]`` where ``w`` is the
+side length parameter (paper default 1000 m).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.geo import Point, Rect
+from repro.queries.range_query import RangeQuery
+
+
+class QueryDistribution(enum.Enum):
+    """Spatial distribution of query centers (paper Section 4.2)."""
+
+    PROPORTIONAL = "proportional"
+    INVERSE = "inverse"
+    RANDOM = "random"
+
+
+def generate_workload(
+    bounds: Rect,
+    n_queries: int,
+    side_length: float,
+    distribution: QueryDistribution = QueryDistribution.PROPORTIONAL,
+    node_positions: np.ndarray | None = None,
+    seed: int = 7,
+    density_grid_cells: int = 32,
+) -> list[RangeQuery]:
+    """Generate ``n_queries`` range CQs over ``bounds``.
+
+    ``node_positions`` (shape ``(n, 2)``) is required for the
+    Proportional and Inverse distributions, which are defined relative
+    to the node density.  The Inverse distribution is realized by
+    histogramming nodes on a ``density_grid_cells``-square grid and
+    sampling cells with probability proportional to the *complement* of
+    their node count.
+    """
+    if n_queries < 0:
+        raise ValueError("n_queries must be non-negative")
+    if side_length <= 0:
+        raise ValueError("side_length must be positive")
+    rng = np.random.default_rng(seed)
+
+    if distribution is QueryDistribution.RANDOM:
+        centers = np.column_stack(
+            [
+                rng.uniform(bounds.x1, bounds.x2, size=n_queries),
+                rng.uniform(bounds.y1, bounds.y2, size=n_queries),
+            ]
+        )
+    elif distribution is QueryDistribution.PROPORTIONAL:
+        centers = _proportional_centers(bounds, n_queries, node_positions, rng)
+    elif distribution is QueryDistribution.INVERSE:
+        centers = _inverse_centers(
+            bounds, n_queries, node_positions, rng, density_grid_cells
+        )
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown distribution: {distribution}")
+
+    sides = rng.uniform(side_length / 2.0, side_length, size=n_queries)
+    queries = []
+    for i in range(n_queries):
+        rect = Rect.from_center(Point(centers[i, 0], centers[i, 1]), float(sides[i]))
+        queries.append(RangeQuery(query_id=i, rect=rect))
+    return queries
+
+
+def _require_nodes(node_positions: np.ndarray | None) -> np.ndarray:
+    if node_positions is None or len(node_positions) == 0:
+        raise ValueError(
+            "node_positions are required for node-density-driven distributions"
+        )
+    return np.asarray(node_positions, dtype=np.float64)
+
+
+def _proportional_centers(
+    bounds: Rect, n_queries: int, node_positions: np.ndarray | None,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Centers sampled at node positions with small jitter."""
+    nodes = _require_nodes(node_positions)
+    picks = rng.integers(0, len(nodes), size=n_queries)
+    jitter_scale = 0.01 * min(bounds.width, bounds.height)
+    centers = nodes[picks] + rng.normal(0.0, jitter_scale, size=(n_queries, 2))
+    centers[:, 0] = np.clip(centers[:, 0], bounds.x1, bounds.x2)
+    centers[:, 1] = np.clip(centers[:, 1], bounds.y1, bounds.y2)
+    return centers
+
+
+def _inverse_centers(
+    bounds: Rect,
+    n_queries: int,
+    node_positions: np.ndarray | None,
+    rng: np.random.Generator,
+    grid_cells: int,
+) -> np.ndarray:
+    """Centers sampled from cells weighted by the inverse node density."""
+    nodes = _require_nodes(node_positions)
+    counts, x_edges, y_edges = np.histogram2d(
+        nodes[:, 0],
+        nodes[:, 1],
+        bins=grid_cells,
+        range=[[bounds.x1, bounds.x2], [bounds.y1, bounds.y2]],
+    )
+    # Complement weighting: emptier cells get higher probability, but no
+    # cell gets zero, so queries still appear (rarely) over dense areas.
+    weights = (counts.max() - counts) + 1.0
+    probs = (weights / weights.sum()).ravel()
+    picks = rng.choice(grid_cells * grid_cells, size=n_queries, p=probs)
+    ix, iy = np.unravel_index(picks, (grid_cells, grid_cells))
+    xs = rng.uniform(x_edges[ix], x_edges[ix + 1])
+    ys = rng.uniform(y_edges[iy], y_edges[iy + 1])
+    return np.column_stack([xs, ys])

@@ -1,0 +1,26 @@
+"""Synthetic road-network substrate.
+
+Substitutes for the paper's USGS road map + real traffic-volume data with
+a seeded generator producing the same class mix (expressway / arterial /
+collector) and the same skewed traffic distribution.  See DESIGN.md,
+"Substitutions".
+"""
+
+from repro.roadnet.generator import (
+    generate_hotspots,
+    generate_road_network,
+    make_default_scene,
+)
+from repro.roadnet.graph import RoadClass, RoadNetwork, RoadSegment
+from repro.roadnet.traffic import Hotspot, TrafficVolumeModel
+
+__all__ = [
+    "Hotspot",
+    "RoadClass",
+    "RoadNetwork",
+    "RoadSegment",
+    "TrafficVolumeModel",
+    "generate_hotspots",
+    "generate_road_network",
+    "make_default_scene",
+]

@@ -1,0 +1,146 @@
+"""Synthetic road-network generation.
+
+Produces a jittered lattice of collector roads with periodic arterial
+corridors and a small number of expressways crossing the region — the
+same "rich mixture of expressways, arterial roads, and collector roads"
+the paper's Chamblee, GA map exhibits.  Generation is fully deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geo import Point, Rect
+from repro.roadnet.graph import RoadClass, RoadNetwork
+from repro.roadnet.traffic import Hotspot, TrafficVolumeModel
+
+
+def generate_road_network(
+    bounds: Rect,
+    seed: int = 7,
+    collector_spacing: float = 700.0,
+    arterial_every: int = 4,
+    n_expressways: int = 2,
+    jitter: float = 0.2,
+    drop_fraction: float = 0.12,
+) -> RoadNetwork:
+    """Generate a synthetic road network inside ``bounds``.
+
+    The network is a lattice of intersections spaced roughly
+    ``collector_spacing`` meters apart (positions jittered by up to
+    ``jitter`` of the spacing).  Every ``arterial_every``-th row/column
+    is promoted to an arterial corridor, and ``n_expressways`` rows and
+    columns (evenly spread) become expressways.  A ``drop_fraction`` of
+    the remaining collector segments is removed to break the lattice's
+    regularity, as real road maps are not perfect grids.
+    """
+    if collector_spacing <= 0:
+        raise ValueError("collector_spacing must be positive")
+    rng = np.random.default_rng(seed)
+    net = RoadNetwork(bounds=bounds)
+
+    nx = max(2, int(round(bounds.width / collector_spacing)) + 1)
+    ny = max(2, int(round(bounds.height / collector_spacing)) + 1)
+    dx = bounds.width / (nx - 1)
+    dy = bounds.height / (ny - 1)
+
+    # Intersection lattice with jitter; the outermost ring is pinned to the
+    # boundary so the network spans the whole monitoring region.
+    node_ids = np.empty((ny, nx), dtype=np.int64)
+    for j in range(ny):
+        for i in range(nx):
+            x = bounds.x1 + i * dx
+            y = bounds.y1 + j * dy
+            if 0 < i < nx - 1:
+                x += rng.uniform(-jitter, jitter) * dx
+            if 0 < j < ny - 1:
+                y += rng.uniform(-jitter, jitter) * dy
+            node_ids[j, i] = net.add_node(Point(x, y))
+
+    expressway_rows = _spread_indices(ny, n_expressways, rng)
+    expressway_cols = _spread_indices(nx, n_expressways, rng)
+
+    def class_for(row_like: bool, index: int, expressway_set: set[int]) -> RoadClass:
+        if index in expressway_set:
+            return RoadClass.EXPRESSWAY
+        if arterial_every > 0 and index % arterial_every == arterial_every // 2:
+            return RoadClass.ARTERIAL
+        return RoadClass.COLLECTOR
+
+    # Horizontal segments (constant row).
+    for j in range(ny):
+        cls = class_for(True, j, set(expressway_rows))
+        for i in range(nx - 1):
+            if cls is RoadClass.COLLECTOR and rng.random() < drop_fraction:
+                continue
+            net.add_segment(int(node_ids[j, i]), int(node_ids[j, i + 1]), cls)
+
+    # Vertical segments (constant column).
+    for i in range(nx):
+        cls = class_for(False, i, set(expressway_cols))
+        for j in range(ny - 1):
+            if cls is RoadClass.COLLECTOR and rng.random() < drop_fraction:
+                continue
+            net.add_segment(int(node_ids[j, i]), int(node_ids[j + 1, i]), cls)
+
+    net.validate()
+    return net
+
+
+def generate_hotspots(
+    bounds: Rect,
+    seed: int = 7,
+    n_hotspots: int = 3,
+    radius_fraction: float = 0.12,
+    multiplier_range: tuple[float, float] = (4.0, 12.0),
+) -> list[Hotspot]:
+    """Generate circular traffic hotspots inside ``bounds``.
+
+    Hotspot radii are ``radius_fraction`` of the region's shorter side;
+    multipliers are drawn uniformly from ``multiplier_range``.
+    """
+    rng = np.random.default_rng(seed + 1)
+    radius = radius_fraction * min(bounds.width, bounds.height)
+    hotspots = []
+    for _ in range(n_hotspots):
+        center = Point(
+            rng.uniform(bounds.x1 + radius, bounds.x2 - radius),
+            rng.uniform(bounds.y1 + radius, bounds.y2 - radius),
+        )
+        multiplier = rng.uniform(*multiplier_range)
+        hotspots.append(Hotspot(center=center, radius=radius, multiplier=multiplier))
+    return hotspots
+
+
+def make_default_scene(
+    side_meters: float = 14_000.0,
+    seed: int = 7,
+    **network_kwargs,
+) -> tuple[RoadNetwork, TrafficVolumeModel]:
+    """Convenience: a ~200 km^2 scene matching the paper's region size.
+
+    Returns the road network together with a traffic-volume model that
+    includes generated hotspots.  ``side_meters`` defaults to ~14.1 km so
+    the square region covers approximately 200 km^2 like the Chamblee map.
+    """
+    bounds = Rect(0.0, 0.0, side_meters, side_meters)
+    network = generate_road_network(bounds, seed=seed, **network_kwargs)
+    hotspots = generate_hotspots(bounds, seed=seed)
+    return network, TrafficVolumeModel(network=network, hotspots=hotspots)
+
+
+def _spread_indices(n: int, count: int, rng: np.random.Generator) -> list[int]:
+    """Pick ``count`` roughly evenly spread interior indices in [1, n-2]."""
+    if count <= 0 or n < 3:
+        return []
+    count = min(count, n - 2)
+    base = np.linspace(1, n - 2, count)
+    picked = []
+    for value in base:
+        index = int(round(value + rng.uniform(-0.5, 0.5)))
+        index = min(max(index, 1), n - 2)
+        while index in picked:
+            index = (index + 1) % (n - 1) or 1
+        picked.append(index)
+    return picked

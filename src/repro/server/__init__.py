@@ -1,0 +1,38 @@
+"""Mobile CQ server substrate: input queue, server, base stations."""
+
+from repro.server.base_station import (
+    BYTES_PER_REGION,
+    UDP_PAYLOAD_BYTES,
+    BaseStation,
+    mean_broadcast_bytes,
+    mean_regions_per_station,
+    place_density_dependent_stations,
+    place_uniform_stations,
+)
+from repro.server.cq_server import LoadMeasurement, MobileCQServer, UpdateMessage
+from repro.server.protocol import (
+    BaseStationNetwork,
+    MobileNode,
+    RegionSubset,
+)
+from repro.server.queue import BoundedQueue
+from repro.server.system import LiraSystem, SystemStats
+
+__all__ = [
+    "BaseStationNetwork",
+    "LiraSystem",
+    "MobileNode",
+    "RegionSubset",
+    "SystemStats",
+    "BYTES_PER_REGION",
+    "BaseStation",
+    "BoundedQueue",
+    "LoadMeasurement",
+    "MobileCQServer",
+    "UDP_PAYLOAD_BYTES",
+    "UpdateMessage",
+    "mean_broadcast_bytes",
+    "mean_regions_per_station",
+    "place_density_dependent_stations",
+    "place_uniform_stations",
+]

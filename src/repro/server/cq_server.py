@@ -1,0 +1,202 @@
+"""The mobile CQ server: the first layer of the LIRA architecture.
+
+Ingests position updates through a bounded input queue with a finite
+service rate, maintains the believed node positions (a
+:class:`~repro.index.NodeTable`) and the statistics grid, and evaluates
+the installed continual range queries against its (possibly stale) view.
+
+This is the component whose overload LIRA prevents: when the arrival
+rate exceeds the service rate, the queue fills and arrivals are dropped
+at random — exactly the Random Drop regime the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Rect
+from repro.index import NodeTable
+from repro.queries import RangeQuery
+from repro.core.statistics_grid import StatisticsGrid
+from repro.server.queue import BoundedQueue
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateMessage:
+    """One position update in flight: the node's new motion model."""
+
+    time: float
+    node_id: int
+    x: float
+    y: float
+    vx: float
+    vy: float
+
+
+@dataclass
+class LoadMeasurement:
+    """Arrival/service accounting over one measurement period."""
+
+    arrivals: int
+    processed: int
+    dropped: int
+    period: float
+    service_rate: float
+
+    @property
+    def arrival_rate(self) -> float:
+        """λ, updates per second."""
+        return self.arrivals / self.period if self.period > 0 else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """ρ = λ/μ."""
+        return self.arrival_rate / self.service_rate
+
+
+class MobileCQServer:
+    """A mobile CQ server with finite processing capacity.
+
+    Args:
+        bounds: the monitoring region.
+        n_nodes: population size (node ids are ``0..n_nodes-1``).
+        queries: installed continual range queries.
+        service_rate: μ, updates the server can integrate per second.
+        queue_capacity: B, the input-queue size (Section 3.4).
+        stats_alpha: side cell count of the maintained statistics grid;
+            ``None`` disables statistics maintenance.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        n_nodes: int,
+        queries: list[RangeQuery],
+        service_rate: float,
+        queue_capacity: int = 100,
+        stats_alpha: int | None = None,
+        incremental: bool = False,
+    ) -> None:
+        if service_rate <= 0:
+            raise ValueError("service_rate must be positive")
+        self.bounds = bounds
+        self.queries = list(queries)
+        self.service_rate = service_rate
+        self.queue = BoundedQueue(queue_capacity)
+        self.table = NodeTable(n_nodes)
+        self.stats_grid = (
+            StatisticsGrid(bounds, stats_alpha) if stats_alpha else None
+        )
+        self.engine = None
+        if incremental:
+            from repro.cq import IncrementalCQEngine
+
+            self.engine = IncrementalCQEngine(bounds, n_nodes, self.queries)
+        self._service_credit = 0.0
+        self._period_arrivals = 0
+        self._period_processed = 0
+        self._period_dropped = 0
+        self._period_time = 0.0
+
+    def receive_reports(
+        self,
+        t: float,
+        node_ids: np.ndarray,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+    ) -> int:
+        """Enqueue a batch of arriving reports; returns how many fit.
+
+        Arrivals beyond the queue capacity are dropped (counted in the
+        queue's statistics and the current load measurement).
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        admitted = 0
+        for k, node_id in enumerate(node_ids):
+            message = UpdateMessage(
+                time=t,
+                node_id=int(node_id),
+                x=float(positions[k, 0]),
+                y=float(positions[k, 1]),
+                vx=float(velocities[k, 0]),
+                vy=float(velocities[k, 1]),
+            )
+            if self.queue.offer(message):
+                admitted += 1
+            else:
+                self._period_dropped += 1
+        self._period_arrivals += len(node_ids)
+        return admitted
+
+    def process(self, dt: float) -> int:
+        """Serve the queue for ``dt`` seconds of processing capacity.
+
+        Fractional capacity carries over between calls so that slow
+        service rates are modeled exactly.
+        """
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        self._service_credit += self.service_rate * dt
+        budget = int(self._service_credit)
+        batch = self.queue.poll_batch(budget)
+        self._service_credit -= len(batch)
+        if batch:
+            ids = np.array([m.node_id for m in batch], dtype=np.int64)
+            pos = np.array([[m.x, m.y] for m in batch], dtype=np.float64)
+            vel = np.array([[m.vx, m.vy] for m in batch], dtype=np.float64)
+            times = [m.time for m in batch]
+            # Ingest per distinct report time so staleness is preserved.
+            for t in sorted(set(times)):
+                mask = np.array([mt == t for mt in times])
+                self.table.ingest(t, ids[mask], pos[mask], vel[mask])
+            if self.stats_grid is not None:
+                for m in batch:
+                    self.stats_grid.ingest_update(
+                        m.x, m.y, float(np.hypot(m.vx, m.vy))
+                    )
+        self._period_processed += len(batch)
+        self._period_time += dt
+        return len(batch)
+
+    def evaluate_queries(self, t: float) -> list[np.ndarray]:
+        """Result sets from the server's *believed* positions at time ``t``.
+
+        With ``incremental=True``, results come from the incremental CQ
+        engine: believed positions are reconciled via result deltas (the
+        engine's work counters then measure re-evaluation cost); the
+        answers are identical to the default full scan.
+        """
+        believed = self.table.predict(t)
+        if self.engine is not None:
+            self.engine.refresh(t, believed)
+            return [
+                np.array(sorted(self.engine.result(q.query_id)), dtype=np.int64)
+                for q in self.queries
+            ]
+        known = self.table.known_mask
+        results = []
+        for query in self.queries:
+            in_rect = query.evaluate(np.nan_to_num(believed, nan=np.inf))
+            results.append(in_rect[known[in_rect]])
+        return results
+
+    def take_load_measurement(self) -> LoadMeasurement:
+        """Close the current measurement period and return its statistics.
+
+        Feed :attr:`LoadMeasurement.arrival_rate` and ``service_rate``
+        to THROTLOOP for adaptive throttle-fraction control.
+        """
+        measurement = LoadMeasurement(
+            arrivals=self._period_arrivals,
+            processed=self._period_processed,
+            dropped=self._period_dropped,
+            period=self._period_time,
+            service_rate=self.service_rate,
+        )
+        self._period_arrivals = 0
+        self._period_processed = 0
+        self._period_dropped = 0
+        self._period_time = 0.0
+        return measurement

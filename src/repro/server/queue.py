@@ -1,0 +1,71 @@
+"""Bounded FIFO input queue for position updates.
+
+Models the server's message queue from Section 3.4: arrivals beyond the
+capacity ``B`` are dropped (this is the uncontrolled "random dropping"
+overload behaviour LIRA exists to prevent).  Drop and throughput
+counters feed the THROTLOOP utilization measurements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+
+class BoundedQueue:
+    """A FIFO queue with a hard capacity and drop accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self.total_enqueued = 0
+        self.total_dropped = 0
+        self.total_dequeued = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def offer(self, item: Any) -> bool:
+        """Enqueue if there is room; returns False (and counts a drop) if full."""
+        if self.is_full:
+            self.total_dropped += 1
+            return False
+        self._items.append(item)
+        self.total_enqueued += 1
+        return True
+
+    def poll(self) -> Any | None:
+        """Dequeue the oldest item, or None when empty."""
+        if not self._items:
+            return None
+        self.total_dequeued += 1
+        return self._items.popleft()
+
+    def poll_batch(self, max_items: int) -> list[Any]:
+        """Dequeue up to ``max_items`` items in FIFO order."""
+        if max_items < 0:
+            raise ValueError("max_items must be non-negative")
+        batch = []
+        while self._items and len(batch) < max_items:
+            batch.append(self._items.popleft())
+        self.total_dequeued += len(batch)
+        return batch
+
+    def drop_rate(self) -> float:
+        """Fraction of all arrivals dropped so far."""
+        arrivals = self.total_enqueued + self.total_dropped
+        if arrivals == 0:
+            return 0.0
+        return self.total_dropped / arrivals
+
+    def reset_counters(self) -> None:
+        """Zero the accounting counters (queue contents are kept)."""
+        self.total_enqueued = 0
+        self.total_dropped = 0
+        self.total_dequeued = 0

@@ -1,0 +1,186 @@
+"""LiraSystem: the complete three-layer deployment in one object.
+
+Wires together everything the paper's architecture diagram shows:
+
+* **layer 1** — the mobile CQ server (bounded queue, node table,
+  statistics grid), the LIRA shedder, and THROTLOOP;
+* **layer 2** — the base-station network broadcasting region subsets;
+* **layer 3** — mobile nodes that store their station's subset, decide
+  their throttler locally, and report via dead reckoning;
+
+plus the trajectory archive for historic/snapshot queries.  The
+simulation harness in :mod:`repro.sim` is the *measurement* loop (it
+shortcuts the protocol for speed); this class is the *systems* loop —
+every update flows through the real component path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
+from repro.core.reduction import ReductionFunction
+from repro.geo import Rect
+from repro.history import TrajectoryStore
+from repro.motion import DeadReckoningFleet
+from repro.queries import RangeQuery
+from repro.server.base_station import BaseStation, place_uniform_stations
+from repro.server.cq_server import MobileCQServer
+from repro.server.protocol import BaseStationNetwork, MobileNode
+
+
+@dataclass
+class SystemStats:
+    """A point-in-time summary of the running system."""
+
+    time: float
+    z: float
+    queue_length: int
+    queue_drops: int
+    updates_sent: int
+    updates_processed: int
+    broadcast_bytes: int
+    handoffs: int
+
+
+class LiraSystem:
+    """An end-to-end LIRA deployment over a fixed node population.
+
+    Drive it with :meth:`tick` (one sampling period of true positions)
+    and :meth:`adapt` (one server adaptation, typically every N ticks).
+    Query results come from :meth:`evaluate_queries`; historic state
+    from :attr:`history`.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        n_nodes: int,
+        queries: list[RangeQuery],
+        reduction: ReductionFunction,
+        config: LiraConfig | None = None,
+        service_rate: float = 1000.0,
+        queue_capacity: int = 100,
+        station_radius: float = 2000.0,
+        stations: list[BaseStation] | None = None,
+        adaptive_throttle: bool = True,
+        receive_substeps: int = 10,
+    ) -> None:
+        self.config = config or LiraConfig(l=49, alpha=64)
+        self.bounds = bounds
+        self.server = MobileCQServer(
+            bounds,
+            n_nodes,
+            queries,
+            service_rate=service_rate,
+            queue_capacity=queue_capacity,
+        )
+        self.shedder = LiraLoadShedder(
+            self.config, reduction, queue_capacity=queue_capacity
+        )
+        if adaptive_throttle:
+            self.shedder.use_adaptive_throttle()
+        self.network = BaseStationNetwork(
+            stations or place_uniform_stations(bounds, station_radius)
+        )
+        self.nodes = [MobileNode(node_id=i) for i in range(n_nodes)]
+        self.fleet = DeadReckoningFleet(n_nodes)
+        self.history = TrajectoryStore(n_nodes)
+        self.receive_substeps = max(1, receive_substeps)
+        self._plan_installed = False
+        self._total_handoffs_base = 0
+        self.current_time = 0.0
+
+    def bootstrap(self, positions: np.ndarray, velocities: np.ndarray) -> None:
+        """Register the population's initial motion models out-of-band.
+
+        Node registration happens once, at association time, and is not
+        part of the steady-state update load THROTLOOP manages — pushing
+        the entire population through the bounded queue in one tick
+        would fabricate an overload.  Seeds the fleet's node-side models,
+        the server table, and the trajectory archive consistently.
+        """
+        t = 0.0
+        all_ids = self.fleet.observe(t, positions, velocities)
+        self.server.table.ingest(t, all_ids, positions[all_ids], velocities[all_ids])
+        self.history.record(t, all_ids, positions[all_ids], velocities[all_ids])
+
+    # ------------------------------------------------------------------
+    # Server-side control path
+    # ------------------------------------------------------------------
+
+    def adapt(self, positions: np.ndarray, speeds: np.ndarray) -> None:
+        """One adaptation: measure load, set z, recompute + broadcast plan."""
+        measurement = self.server.take_load_measurement()
+        if measurement.period > 0:
+            self.shedder.observe_load(
+                measurement.arrival_rate, self.server.service_rate
+            )
+        grid = StatisticsGrid.from_snapshot(
+            self.bounds,
+            self.config.resolved_alpha,
+            positions,
+            speeds,
+            self.server.queries,
+        )
+        plan = self.shedder.adapt(grid)
+        self.network.install_plan(plan)
+        self._plan_installed = True
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def tick(
+        self, t: float, positions: np.ndarray, velocities: np.ndarray, dt: float
+    ) -> int:
+        """One sampling period: nodes decide, report; server ingests.
+
+        Returns the number of reports sent.  The plan must have been
+        installed (call :meth:`adapt` first); nodes falling outside
+        every stored region use Δ⊢ conservatively.
+        """
+        if not self._plan_installed:
+            raise RuntimeError("call adapt() before the first tick()")
+        self.current_time = t
+        thresholds = np.empty(len(self.nodes))
+        for i, node in enumerate(self.nodes):
+            x, y = float(positions[i, 0]), float(positions[i, 1])
+            node.observe_position(x, y, self.network)
+            thresholds[i] = node.current_threshold(
+                x, y, default=self.config.delta_min
+            )
+        self.fleet.set_thresholds(thresholds)
+        senders = self.fleet.observe(t, positions, velocities)
+        self.history.record(t, senders, positions[senders], velocities[senders])
+        for chunk in np.array_split(senders, self.receive_substeps):
+            self.server.receive_reports(
+                t, chunk, positions[chunk], velocities[chunk]
+            )
+            self.server.process(dt / self.receive_substeps)
+        return int(senders.size)
+
+    def evaluate_queries(self, t: float | None = None) -> list[np.ndarray]:
+        """Current CQ result sets from the server's believed positions."""
+        return self.server.evaluate_queries(
+            self.current_time if t is None else t
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> SystemStats:
+        """A snapshot of system-level counters."""
+        return SystemStats(
+            time=self.current_time,
+            z=self.shedder.current_z,
+            queue_length=len(self.server.queue),
+            queue_drops=self.server.queue.total_dropped,
+            updates_sent=self.fleet.total_reports,
+            updates_processed=self.server.table.updates_applied,
+            broadcast_bytes=self.network.total_broadcast_bytes,
+            handoffs=sum(node.handoffs for node in self.nodes),
+        )

@@ -1,0 +1,56 @@
+"""Lira-Grid baseline: uniform partitioning, optimal throttlers.
+
+The paper's downgraded LIRA variant: it lacks GRIDREDUCE and instead
+uses equal-sized shedding regions from a plain *l-partitioning*
+(√l × √l uniform grid), but still runs GREEDYINCREMENT to set the
+update throttlers.  Comparing it against full LIRA isolates the value
+of region-aware partitioning (paper Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import LiraConfig, ReductionFunction, greedy_increment
+from repro.core.gridreduce import uniform_partitioning
+from repro.core.plan import SheddingPlan
+from repro.core.statistics_grid import StatisticsGrid
+from repro.shedding.policy import SheddingPolicy
+
+
+class LiraGridPolicy(SheddingPolicy):
+    """Uniform l-partitioning + GREEDYINCREMENT throttler setting."""
+
+    name = "Lira-Grid"
+
+    def __init__(self, config: LiraConfig, reduction: ReductionFunction) -> None:
+        self.config = config
+        self.reduction = reduction.piecewise(config.n_segments)
+        self.alpha = config.resolved_alpha
+        self.plan: SheddingPlan | None = None
+
+    def adapt(self, grid: StatisticsGrid, z: float) -> None:
+        partitioning = uniform_partitioning(grid, self.config.l)
+        result = greedy_increment(
+            partitioning.regions,
+            self.reduction,
+            z,
+            increment=self.config.increment,
+            fairness=self.config.fairness,
+            use_speed=self.config.use_speed,
+        )
+        self.plan = SheddingPlan.from_regions(
+            bounds=grid.bounds,
+            regions=partitioning.regions,
+            thresholds=result.thresholds,
+            resolution=grid.alpha,
+        )
+
+    def thresholds_for(self, positions: np.ndarray) -> np.ndarray:
+        if self.plan is None:
+            raise RuntimeError("adapt() must run before thresholds_for()")
+        return self.plan.thresholds_for(positions)
+
+    def describe(self) -> str:
+        side = max(int(self.config.l**0.5), 1)
+        return f"Lira-Grid(l={self.config.l} -> {side}x{side} uniform regions)"

@@ -1,0 +1,50 @@
+"""Shedding-policy interface.
+
+A policy answers two questions each adaptation period:
+
+1. Which inaccuracy threshold must a node at position (x, y) use?
+   (source-actuated shedding — dead-reckoning thresholds)
+2. What fraction of arriving updates does the server admit?
+   (server-actuated shedding — random dropping)
+
+LIRA and its downgraded variants act through (1) and admit everything;
+Random Drop acts through (2) with every node at Δ⊢.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.statistics_grid import StatisticsGrid
+
+
+class SheddingPolicy(ABC):
+    """Base class for update load-shedding policies."""
+
+    #: Human-readable policy name, used in experiment tables.
+    name: str = "abstract"
+
+    #: Statistics-grid resolution the policy requires from the caller
+    #: (α cells per side); policies that ignore statistics accept any.
+    alpha: int = 1
+
+    @abstractmethod
+    def adapt(self, grid: StatisticsGrid, z: float) -> None:
+        """Recompute internal state for throttle fraction ``z``.
+
+        Called once per adaptation period with fresh grid statistics.
+        """
+
+    @abstractmethod
+    def thresholds_for(self, positions: np.ndarray) -> np.ndarray:
+        """Per-node inaccuracy thresholds for nodes at ``positions`` (n, 2)."""
+
+    def admission_fraction(self) -> float:
+        """Fraction of arriving updates the server admits (default: all)."""
+        return 1.0
+
+    def describe(self) -> str:
+        """One-line description for logs and experiment output."""
+        return self.name

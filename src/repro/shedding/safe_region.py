@@ -1,0 +1,102 @@
+"""Safe-region monitoring: the related-work alternative paradigm.
+
+The paper's related work discusses distributed CQ systems [1, 3, 7]
+where "position updates are only received if they affect a query
+result" — each node gets a *safe region* and stays silent inside it.
+LIRA can mimic this by setting Δ⊣ very large; the cost is that snapshot
+and historic queries become unanswerable since far-from-query nodes are
+effectively untracked.
+
+This policy implements that paradigm as an extra baseline: a node's
+inaccuracy threshold is its distance to the nearest installed query
+boundary (clamped below by Δ⊢) — moving less than that distance cannot
+change any result.  Nodes *inside* a query region use Δ⊢.  The policy
+ignores the throttle fraction: its update volume is workload-driven,
+not budget-driven (which is precisely what it cannot control under
+overload — LIRA's reason for existing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.statistics_grid import StatisticsGrid
+from repro.queries import RangeQuery
+from repro.shedding.policy import SheddingPolicy
+
+
+def distance_to_rect_boundary(positions: np.ndarray, rect) -> np.ndarray:
+    """Distance from each point to the rectangle's boundary (0 on it).
+
+    For outside points this is the distance to the rectangle; for inside
+    points, the distance to the nearest edge.  Vectorized over points.
+    """
+    x, y = positions[:, 0], positions[:, 1]
+    dx = np.maximum(np.maximum(rect.x1 - x, x - rect.x2), 0.0)
+    dy = np.maximum(np.maximum(rect.y1 - y, y - rect.y2), 0.0)
+    outside = np.hypot(dx, dy)
+    inside_margin = np.minimum(
+        np.minimum(x - rect.x1, rect.x2 - x),
+        np.minimum(y - rect.y1, rect.y2 - y),
+    )
+    inside = (dx == 0.0) & (dy == 0.0)
+    return np.where(inside, np.maximum(inside_margin, 0.0), outside)
+
+
+class SafeRegionPolicy(SheddingPolicy):
+    """Per-node thresholds from distance to the nearest query boundary.
+
+    ``slack`` scales the distance into a threshold conservatively
+    (reports fire *before* a node could have crossed into a result),
+    and ``delta_cap`` optionally bounds the threshold — ``None``
+    reproduces the pure paradigm where far nodes are nearly untracked.
+    """
+
+    name = "Safe Region"
+
+    def __init__(
+        self,
+        queries: list[RangeQuery],
+        delta_min: float = 5.0,
+        slack: float = 0.5,
+        delta_cap: float | None = None,
+    ) -> None:
+        if not queries:
+            raise ValueError("safe-region monitoring requires installed queries")
+        if not (0.0 < slack <= 1.0):
+            raise ValueError("slack must be in (0, 1]")
+        if delta_cap is not None and delta_cap < delta_min:
+            raise ValueError("delta_cap must be >= delta_min")
+        self.queries = queries
+        self.delta_min = delta_min
+        self.slack = slack
+        self.delta_cap = delta_cap
+
+    def adapt(self, grid: StatisticsGrid, z: float) -> None:
+        """No-op: safe regions depend on queries, not on load statistics."""
+
+    def thresholds_for(self, positions: np.ndarray) -> np.ndarray:
+        positions = np.asarray(positions, dtype=np.float64)
+        nearest = np.full(len(positions), np.inf)
+        inside_any = np.zeros(len(positions), dtype=bool)
+        for query in self.queries:
+            d = distance_to_rect_boundary(positions, query.rect)
+            x, y = positions[:, 0], positions[:, 1]
+            inside = (
+                (x >= query.rect.x1)
+                & (x < query.rect.x2)
+                & (y >= query.rect.y1)
+                & (y < query.rect.y2)
+            )
+            inside_any |= inside
+            nearest = np.minimum(nearest, d)
+        thresholds = np.maximum(nearest * self.slack, self.delta_min)
+        # Result membership must stay accurate for nodes inside queries.
+        thresholds[inside_any] = self.delta_min
+        if self.delta_cap is not None:
+            thresholds = np.minimum(thresholds, self.delta_cap)
+        return thresholds
+
+    def describe(self) -> str:
+        cap = f", cap={self.delta_cap}" if self.delta_cap is not None else ""
+        return f"Safe Region (slack={self.slack}{cap}, {len(self.queries)} queries)"

@@ -1,0 +1,7 @@
+"""Mobile-node trace substrate: vehicle simulation and trace containers."""
+
+from repro.trace.generator import TraceGenerator, generate_default_trace
+from repro.trace.trace import Trace
+from repro.trace.vehicle import Vehicle
+
+__all__ = ["Trace", "TraceGenerator", "Vehicle", "generate_default_trace"]

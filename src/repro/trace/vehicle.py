@@ -1,0 +1,105 @@
+"""Single-vehicle movement model on a road network.
+
+Vehicles follow road segments at a per-class speed, turn at intersections
+with probabilities proportional to traffic weights (so they gravitate to
+expressways and hotspots, like the paper's volume-driven trace), and
+occasionally dawdle or speed up.  Movement is deterministic given the
+generator's RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Point
+from repro.roadnet import RoadNetwork, TrafficVolumeModel
+
+
+@dataclass
+class Vehicle:
+    """A car traversing the road network.
+
+    State is (segment, direction, offset): the car is ``offset`` meters
+    from ``origin_node`` heading toward the other endpoint of
+    ``seg_id``.  ``speed_factor`` is a persistent per-driver multiplier
+    on road speed limits.
+    """
+
+    seg_id: int
+    origin_node: int
+    offset: float
+    speed_factor: float
+    speed: float = 0.0
+
+    def position(self, network: RoadNetwork) -> Point:
+        """Current position on the network."""
+        seg = network.segments[self.seg_id]
+        if self.origin_node == seg.a:
+            return network.point_on_segment(self.seg_id, self.offset)
+        return network.point_on_segment(self.seg_id, seg.length - self.offset)
+
+    def heading(self, network: RoadNetwork) -> Point:
+        """Unit vector in the direction of travel (zero if degenerate)."""
+        seg = network.segments[self.seg_id]
+        a = network.nodes[self.origin_node]
+        b = network.nodes[seg.other_end(self.origin_node)]
+        d = b - a
+        norm = d.norm()
+        if norm == 0.0:
+            return Point(0.0, 0.0)
+        return Point(d.x / norm, d.y / norm)
+
+    def current_speed_limit(self, network: RoadNetwork) -> float:
+        return network.segments[self.seg_id].road_class.speed_limit
+
+    def step(
+        self,
+        network: RoadNetwork,
+        traffic: TrafficVolumeModel,
+        dt: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """Advance the vehicle by ``dt`` seconds.
+
+        The car moves at the segment speed limit scaled by its driver
+        factor and a small per-tick jitter.  On reaching an intersection
+        it picks the next segment with probability proportional to the
+        traffic turn weights, avoiding a U-turn unless at a dead end.
+        """
+        remaining = dt
+        while remaining > 0.0:
+            limit = self.current_speed_limit(network)
+            self.speed = limit * self.speed_factor * rng.uniform(0.9, 1.05)
+            seg = network.segments[self.seg_id]
+            distance_left = seg.length - self.offset
+            travel = self.speed * remaining
+            if travel < distance_left:
+                self.offset += travel
+                return
+            # Reach the far intersection and turn.
+            remaining -= distance_left / max(self.speed, 1e-9)
+            arrived_at = seg.other_end(self.origin_node)
+            self._turn(network, traffic, arrived_at, rng)
+
+    def _turn(
+        self,
+        network: RoadNetwork,
+        traffic: TrafficVolumeModel,
+        node: int,
+        rng: np.random.Generator,
+    ) -> None:
+        options = [s for s in network.incident_segments(node) if s != self.seg_id]
+        if not options:
+            # Dead end: U-turn on the same segment.
+            options = [self.seg_id]
+        weights = np.array([traffic.turn_weight(s) for s in options], dtype=np.float64)
+        total = weights.sum()
+        if total <= 0.0:
+            choice = options[int(rng.integers(len(options)))]
+        else:
+            choice = options[int(rng.choice(len(options), p=weights / total))]
+        self.seg_id = choice
+        self.origin_node = node
+        self.offset = 0.0

@@ -1,0 +1,147 @@
+"""Tests for the from-scratch B+-tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BPlusTree
+
+
+class TestBasics:
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        tree.insert(1, "one")
+        tree.insert(9, "nine")
+        assert tree.get(5) == "five"
+        assert tree.get(1) == "one"
+        assert tree.get(2) is None
+        assert tree.get(2, "dflt") == "dflt"
+        assert len(tree) == 3
+        assert 5 in tree and 2 not in tree
+
+    def test_replace_existing_key(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(2, "b")
+        assert tree.delete(1) == "a"
+        assert tree.get(1) is None
+        assert len(tree) == 1
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+    def test_order_validated(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_tuple_keys(self):
+        tree = BPlusTree(order=4)
+        tree.insert((1, 2), "a")
+        tree.insert((1, 1), "b")
+        tree.insert((0, 9), "c")
+        assert [k for k, _ in tree.items()] == [(0, 9), (1, 1), (1, 2)]
+
+
+class TestRangeScan:
+    def test_inclusive_bounds(self):
+        tree = BPlusTree(order=4)
+        for k in range(10):
+            tree.insert(k, k * 10)
+        scanned = list(tree.range_scan(3, 6))
+        assert [k for k, _ in scanned] == [3, 4, 5, 6]
+        assert [v for _, v in scanned] == [30, 40, 50, 60]
+
+    def test_empty_range(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert list(tree.range_scan(5, 9)) == []
+
+    def test_scan_crosses_leaves(self):
+        tree = BPlusTree(order=3)
+        for k in range(50):
+            tree.insert(k, k)
+        assert tree.height() > 2
+        assert [k for k, _ in tree.range_scan(10, 40)] == list(range(10, 41))
+
+    def test_items_in_order(self, rng):
+        tree = BPlusTree(order=4)
+        keys = rng.permutation(200)
+        for k in keys:
+            tree.insert(int(k), int(k))
+        assert [k for k, _ in tree.items()] == list(range(200))
+
+
+class TestBulkAndStructure:
+    def test_grows_balanced(self):
+        tree = BPlusTree(order=4)
+        for k in range(500):
+            tree.insert(k, k)
+        tree.validate()
+        assert tree.height() >= 3
+
+    def test_random_insert_delete_matches_dict(self, rng):
+        tree = BPlusTree(order=4)
+        reference = {}
+        for _ in range(1500):
+            k = int(rng.integers(0, 300))
+            if rng.random() < 0.6 or k not in reference:
+                tree.insert(k, k * 2)
+                reference[k] = k * 2
+            else:
+                assert tree.delete(k) == reference.pop(k)
+        tree.validate()
+        assert len(tree) == len(reference)
+        for k, v in reference.items():
+            assert tree.get(k) == v
+        assert [k for k, _ in tree.items()] == sorted(reference)
+
+    def test_delete_everything(self):
+        tree = BPlusTree(order=3)
+        for k in range(100):
+            tree.insert(k, k)
+        for k in range(100):
+            tree.delete(k)
+        tree.validate()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+    def test_descending_inserts(self):
+        tree = BPlusTree(order=3)
+        for k in range(200, 0, -1):
+            tree.insert(k, k)
+        tree.validate()
+        assert [k for k, _ in tree.items()] == list(range(1, 201))
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["ins", "del"]), st.integers(0, 60)),
+            max_size=120,
+        )
+    )
+    def test_behaves_like_sorted_dict(self, operations):
+        tree = BPlusTree(order=3)
+        reference = {}
+        for op, key in operations:
+            if op == "ins":
+                tree.insert(key, key)
+                reference[key] = key
+            elif key in reference:
+                tree.delete(key)
+                del reference[key]
+        tree.validate()
+        assert [k for k, _ in tree.items()] == sorted(reference)
+        lo, hi = 10, 50
+        assert [k for k, _ in tree.range_scan(lo, hi)] == [
+            k for k in sorted(reference) if lo <= k <= hi
+        ]

@@ -1,0 +1,209 @@
+"""Tests for the B^x-tree moving-object index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import Rect
+from repro.index import BxTree, MovingObject
+from repro.index.bx_tree import interleave_bits, z_runs
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def obj(object_id, x, y, vx=0.0, vy=0.0, time=0.0) -> MovingObject:
+    return MovingObject(object_id, x, y, vx, vy, time)
+
+
+def brute_force(objects, rect, t) -> set[int]:
+    hits = set()
+    for o in objects.values():
+        x, y = o.position_at(t)
+        if rect.contains_xy(x, y):
+            hits.add(o.object_id)
+    return hits
+
+
+class TestZOrder:
+    def test_interleave_known_values(self):
+        assert interleave_bits(0, 0, 4) == 0
+        assert interleave_bits(1, 0, 4) == 1
+        assert interleave_bits(0, 1, 4) == 2
+        assert interleave_bits(1, 1, 4) == 3
+        assert interleave_bits(2, 0, 4) == 4
+
+    def test_interleave_is_injective(self):
+        seen = set()
+        for i in range(16):
+            for j in range(16):
+                z = interleave_bits(i, j, 4)
+                assert z not in seen
+                seen.add(z)
+        assert seen == set(range(256))
+
+    def test_z_runs_cover_exactly_the_window(self):
+        runs = z_runs(1, 2, 1, 2, bits=4)
+        covered = set()
+        for lo, hi in runs:
+            covered.update(range(lo, hi + 1))
+        expected = {
+            interleave_bits(i, j, 4) for i in (1, 2) for j in (1, 2)
+        }
+        assert covered == expected
+
+    def test_z_runs_coalesce(self):
+        # The 2x2 block at (0,0) is z-values 0..3: one run.
+        assert z_runs(0, 1, 0, 1, bits=4) == [(0, 3)]
+
+
+class TestBasicOperations:
+    def test_insert_query_static(self):
+        tree = BxTree(BOUNDS, max_speed=30.0)
+        tree.insert(obj(1, 100.0, 100.0))
+        tree.insert(obj(2, 900.0, 900.0))
+        assert tree.query(Rect(0, 0, 500, 500), t=0.0) == [1]
+        assert len(tree) == 2
+        assert 1 in tree and 3 not in tree
+
+    def test_query_accounts_for_motion(self):
+        tree = BxTree(BOUNDS, max_speed=30.0)
+        tree.insert(obj(1, 100.0, 500.0, vx=10.0))
+        window = Rect(190.0, 490.0, 210.0, 510.0)
+        assert tree.query(window, t=10.0) == [1]
+        assert tree.query(window, t=0.0) == []
+
+    def test_duplicate_insert_rejected(self):
+        tree = BxTree(BOUNDS, max_speed=10.0)
+        tree.insert(obj(1, 1.0, 1.0))
+        with pytest.raises(KeyError):
+            tree.insert(obj(1, 2.0, 2.0))
+
+    def test_update_and_delete(self):
+        tree = BxTree(BOUNDS, max_speed=10.0)
+        tree.insert(obj(1, 100.0, 100.0))
+        tree.update(obj(1, 800.0, 800.0, time=10.0))
+        assert tree.query(Rect(700, 700, 900, 900), t=10.0) == [1]
+        removed = tree.delete(1)
+        assert removed.object_id == 1
+        assert len(tree) == 0
+        with pytest.raises(KeyError):
+            tree.delete(1)
+
+    def test_updates_span_partitions(self):
+        tree = BxTree(BOUNDS, max_speed=10.0, phase_duration=60.0)
+        tree.insert(obj(1, 100.0, 100.0, time=0.0))      # partition 0
+        tree.insert(obj(2, 200.0, 200.0, time=150.0))    # partition 2
+        assert len(tree._partition_counts) == 2
+        assert set(tree.query(Rect(0, 0, 300, 300), t=150.0)) == {1, 2}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BxTree(BOUNDS, max_speed=0.0)
+        with pytest.raises(ValueError):
+            BxTree(BOUNDS, max_speed=10.0, grid_exp=0)
+        with pytest.raises(ValueError):
+            BxTree(BOUNDS, max_speed=10.0, phase_duration=0.0)
+
+
+class TestBulkBehaviour:
+    def test_matches_brute_force(self, rng):
+        tree = BxTree(BOUNDS, max_speed=15.0, grid_exp=6, phase_duration=60.0)
+        objects = {}
+        for k in range(300):
+            o = obj(
+                k,
+                rng.uniform(0, 1000),
+                rng.uniform(0, 1000),
+                rng.uniform(-15, 15),
+                rng.uniform(-15, 15),
+                time=rng.uniform(0, 120),
+            )
+            objects[k] = o
+            tree.insert(o)
+        tree.validate()
+        for t in (0.0, 60.0, 150.0):
+            rect = Rect(200.0, 300.0, 600.0, 700.0)
+            assert set(tree.query(rect, t)) == brute_force(objects, rect, t)
+
+    def test_interleaved_update_delete(self, rng):
+        tree = BxTree(BOUNDS, max_speed=15.0, grid_exp=6)
+        objects = {}
+        for k in range(150):
+            o = obj(k, rng.uniform(0, 1000), rng.uniform(0, 1000),
+                    rng.uniform(-10, 10), rng.uniform(-10, 10))
+            objects[k] = o
+            tree.insert(o)
+        for k in range(0, 150, 2):
+            o = obj(k, rng.uniform(0, 1000), rng.uniform(0, 1000),
+                    rng.uniform(-10, 10), rng.uniform(-10, 10), time=200.0)
+            objects[k] = o
+            tree.update(o)
+        for k in range(1, 150, 3):
+            tree.delete(k)
+            del objects[k]
+        tree.validate()
+        rect = Rect(100, 100, 800, 500)
+        for t in (200.0, 260.0):
+            assert set(tree.query(rect, t)) == brute_force(objects, rect, t)
+
+    def test_dead_reckoning_stream(self, small_trace):
+        """Maintained by a real dead-reckoning stream, the index answers
+        queries identically to brute force over the stored models."""
+        from repro.motion import DeadReckoningFleet
+
+        max_speed = 35.0
+        tree = BxTree(small_trace.bounds, max_speed=max_speed, grid_exp=6,
+                      phase_duration=60.0)
+        fleet = DeadReckoningFleet(small_trace.num_nodes)
+        fleet.set_thresholds(25.0)
+        stored: dict[int, MovingObject] = {}
+        for tick in range(small_trace.num_ticks):
+            t = tick * small_trace.dt
+            senders = fleet.observe(
+                t, small_trace.positions[tick], small_trace.velocities[tick]
+            )
+            for node_id in senders:
+                o = obj(
+                    int(node_id),
+                    float(small_trace.positions[tick][node_id, 0]),
+                    float(small_trace.positions[tick][node_id, 1]),
+                    float(small_trace.velocities[tick][node_id, 0]),
+                    float(small_trace.velocities[tick][node_id, 1]),
+                    time=t,
+                )
+                stored[int(node_id)] = o
+                tree.update(o)
+        tree.validate()
+        t_final = (small_trace.num_ticks - 1) * small_trace.dt
+        b = small_trace.bounds
+        rect = Rect(b.x1, b.y1, b.center.x, b.center.y)
+        assert set(tree.query(rect, t_final)) == brute_force(stored, rect, t_final)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000),
+                st.floats(min_value=0, max_value=1000),
+                st.floats(min_value=-20, max_value=20),
+                st.floats(min_value=-20, max_value=20),
+                st.floats(min_value=0, max_value=200),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0, max_value=250),
+    )
+    def test_query_matches_brute_force(self, rows, t):
+        tree = BxTree(BOUNDS, max_speed=20.0, grid_exp=5)
+        objects = {}
+        for k, (x, y, vx, vy, rt) in enumerate(rows):
+            o = obj(k, x, y, vx, vy, time=rt)
+            objects[k] = o
+            tree.insert(o)
+        tree.validate()
+        rect = Rect(250.0, 250.0, 750.0, 750.0)
+        assert set(tree.query(rect, t)) == brute_force(objects, rect, t)

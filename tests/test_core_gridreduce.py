@@ -1,0 +1,171 @@
+"""Unit tests for GRIDREDUCE partitioning (Stage II + helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticReduction,
+    RegionHierarchy,
+    StatisticsGrid,
+    calc_err_gain,
+    effective_region_count,
+    grid_reduce,
+    uniform_partitioning,
+)
+from repro.geo import Point, Rect
+from repro.queries import RangeQuery
+
+BOUNDS = Rect(0.0, 0.0, 160.0, 160.0)
+
+
+def _skewed_grid(alpha=8) -> StatisticsGrid:
+    """Dense nodes+queries in one corner, sparse elsewhere."""
+    rng = np.random.default_rng(17)
+    dense = rng.uniform(0, 40, size=(300, 2))
+    sparse = rng.uniform(0, 160, size=(60, 2))
+    positions = np.vstack([dense, sparse])
+    speeds = rng.uniform(5, 15, size=len(positions))
+    queries = [
+        RangeQuery(k, Rect.from_center(Point(*rng.uniform(0, 40, 2)), 10.0))
+        for k in range(10)
+    ]
+    return StatisticsGrid.from_snapshot(BOUNDS, alpha, positions, speeds, queries)
+
+
+class TestEffectiveRegionCount:
+    def test_valid_counts_pass_through(self):
+        for l in (1, 4, 7, 250):
+            assert effective_region_count(l) == l
+
+    def test_invalid_counts_round_down(self):
+        assert effective_region_count(2) == 1
+        assert effective_region_count(3) == 1
+        assert effective_region_count(5) == 4
+        assert effective_region_count(6) == 4
+        assert effective_region_count(100) == 100
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            effective_region_count(0)
+
+
+class TestGridReduce:
+    def test_produces_requested_region_count(self, reduction):
+        hierarchy = RegionHierarchy(_skewed_grid())
+        pw = reduction.piecewise(19)
+        for l in (1, 4, 13, 25):
+            result = grid_reduce(hierarchy, l, 0.5, pw)
+            assert result.num_regions == effective_region_count(l)
+
+    def test_regions_tile_the_space(self, reduction):
+        hierarchy = RegionHierarchy(_skewed_grid())
+        result = grid_reduce(hierarchy, 25, 0.5, reduction.piecewise(19))
+        total_area = sum(r.rect.area for r in result.regions)
+        assert total_area == pytest.approx(BOUNDS.area)
+        for a in result.regions:
+            for b in result.regions:
+                if a is not b:
+                    assert not a.rect.intersects(b.rect)
+
+    def test_statistics_preserved_by_partitioning(self, reduction):
+        grid = _skewed_grid()
+        hierarchy = RegionHierarchy(grid)
+        result = grid_reduce(hierarchy, 13, 0.5, reduction.piecewise(19))
+        assert sum(r.n for r in result.regions) == pytest.approx(grid.total_nodes)
+        assert sum(r.m for r in result.regions) == pytest.approx(grid.total_queries)
+
+    def test_drills_into_heterogeneous_areas(self, reduction):
+        """The dense corner should receive smaller regions than the rest."""
+        hierarchy = RegionHierarchy(_skewed_grid())
+        result = grid_reduce(hierarchy, 25, 0.5, reduction.piecewise(19))
+        corner_sizes = [
+            r.rect.area for r in result.regions if r.rect.x1 < 40 and r.rect.y1 < 40
+        ]
+        far_sizes = [
+            r.rect.area for r in result.regions if r.rect.x1 >= 80 and r.rect.y1 >= 80
+        ]
+        assert min(corner_sizes) < min(far_sizes)
+
+    def test_l_capped_by_leaf_count(self, reduction):
+        # alpha=2 has only 4 leaves; asking for more stops early.
+        grid = StatisticsGrid.from_snapshot(
+            BOUNDS, 2, np.random.default_rng(1).uniform(0, 160, (50, 2))
+        )
+        hierarchy = RegionHierarchy(grid)
+        result = grid_reduce(hierarchy, 100, 0.5, reduction.piecewise(10))
+        assert result.num_regions == 4
+
+    def test_l_one_returns_root(self, reduction):
+        hierarchy = RegionHierarchy(_skewed_grid())
+        result = grid_reduce(hierarchy, 1, 0.5, reduction.piecewise(10))
+        assert result.num_regions == 1
+        assert result.regions[0].rect == BOUNDS
+
+
+class TestCalcErrGain:
+    def test_leaf_gain_is_zero(self, reduction):
+        hierarchy = RegionHierarchy(_skewed_grid())
+        leaf = hierarchy.node(hierarchy.depth, 0, 0)
+        assert calc_err_gain(hierarchy, leaf, 0.5, reduction.piecewise(10)) == 0.0
+
+    def test_query_free_node_gain_is_zero(self, reduction):
+        grid = StatisticsGrid.from_snapshot(
+            BOUNDS, 4, np.random.default_rng(2).uniform(0, 160, (50, 2))
+        )
+        hierarchy = RegionHierarchy(grid)
+        assert (
+            calc_err_gain(hierarchy, hierarchy.root, 0.5, reduction.piecewise(10))
+            == 0.0
+        )
+
+    def test_heterogeneous_node_has_positive_gain(self, reduction):
+        hierarchy = RegionHierarchy(_skewed_grid())
+        gain = calc_err_gain(hierarchy, hierarchy.root, 0.5, reduction.piecewise(19))
+        assert gain > 0.0
+
+    def test_homogeneous_node_has_lower_gain_than_heterogeneous(self, reduction):
+        rng = np.random.default_rng(5)
+        pw = reduction.piecewise(19)
+        # Homogeneous: nodes and queries spread uniformly.
+        homo_positions = rng.uniform(0, 160, (400, 2))
+        homo_queries = [
+            RangeQuery(k, Rect.from_center(Point(*rng.uniform(20, 140, 2)), 10.0))
+            for k in range(8)
+        ]
+        homo = RegionHierarchy(
+            StatisticsGrid.from_snapshot(BOUNDS, 4, homo_positions, None, homo_queries)
+        )
+        hetero = RegionHierarchy(_skewed_grid(alpha=4))
+        homo_gain = calc_err_gain(homo, homo.root, 0.5, pw)
+        hetero_gain = calc_err_gain(hetero, hetero.root, 0.5, pw)
+        assert hetero_gain > homo_gain
+
+
+class TestUniformPartitioning:
+    def test_region_count_is_square(self):
+        grid = _skewed_grid(alpha=8)
+        result = uniform_partitioning(grid, 250)
+        assert result.num_regions == 15 * 15 or result.num_regions == 8 * 8
+        # k = min(floor(sqrt(250)), alpha) = min(15, 8) = 8 here.
+        assert result.num_regions == 64
+
+    def test_regions_tile_space(self):
+        grid = _skewed_grid(alpha=8)
+        result = uniform_partitioning(grid, 16)
+        assert result.num_regions == 16
+        assert sum(r.rect.area for r in result.regions) == pytest.approx(BOUNDS.area)
+
+    def test_statistics_preserved(self):
+        grid = _skewed_grid(alpha=8)
+        result = uniform_partitioning(grid, 16)
+        assert sum(r.n for r in result.regions) == pytest.approx(grid.total_nodes)
+        assert sum(r.m for r in result.regions) == pytest.approx(grid.total_queries)
+
+    def test_l_one(self):
+        grid = _skewed_grid(alpha=8)
+        result = uniform_partitioning(grid, 1)
+        assert result.num_regions == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_partitioning(_skewed_grid(), 0)

@@ -1,0 +1,133 @@
+"""Unit tests for the update-reduction function models."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticReduction, PiecewiseLinearReduction
+from repro.core.reduction import measure_reduction_from_trace
+
+
+class TestAnalyticReduction:
+    def test_normalized_at_delta_min(self, reduction):
+        assert reduction.f(5.0) == pytest.approx(1.0)
+
+    def test_non_increasing(self, reduction):
+        deltas = np.linspace(5.0, 100.0, 50)
+        values = [reduction.f(d) for d in deltas]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rate_is_positive(self, reduction):
+        for d in (5.0, 20.0, 60.0, 100.0):
+            assert reduction.r(d) > 0.0
+
+    def test_rate_decreases_with_delta(self, reduction):
+        # Figure 1's shape: steep near delta_min, flat tail near delta_max.
+        assert reduction.r(5.0) > reduction.r(20.0) > reduction.r(90.0)
+
+    def test_rate_approximates_derivative(self, reduction):
+        h = 1e-5
+        for d in (10.0, 40.0, 80.0):
+            numeric = -(reduction.f(d + h) - reduction.f(d - h)) / (2 * h)
+            assert reduction.r(d) == pytest.approx(numeric, rel=1e-4)
+
+    def test_domain_enforced(self, reduction):
+        with pytest.raises(ValueError):
+            reduction.f(1.0)
+        with pytest.raises(ValueError):
+            reduction.f(200.0)
+
+    def test_rejects_invalid_domain(self):
+        with pytest.raises(ValueError):
+            AnalyticReduction(10.0, 10.0)
+        with pytest.raises(ValueError):
+            AnalyticReduction(-1.0, 10.0)
+
+    def test_rejects_invalid_shape_parameters(self):
+        with pytest.raises(ValueError):
+            AnalyticReduction(5, 100, hyperbolic_weight=1.5)
+        with pytest.raises(ValueError):
+            AnalyticReduction(5, 100, linear_drop=-0.1)
+        with pytest.raises(ValueError):
+            AnalyticReduction(5, 100, hyperbolic_power=0.0)
+
+
+class TestDeltaForFraction:
+    def test_full_budget_gives_delta_min(self, reduction):
+        assert reduction.delta_for_fraction(1.0) == pytest.approx(5.0)
+
+    def test_unreachable_budget_gives_delta_max(self, reduction):
+        # f(100) ~ 0.065 for the default analytic model.
+        assert reduction.delta_for_fraction(0.001) == pytest.approx(100.0)
+
+    def test_solution_is_feasible_and_tight(self, reduction):
+        for z in (0.3, 0.5, 0.8):
+            delta = reduction.delta_for_fraction(z)
+            assert reduction.f(delta) <= z + 1e-9
+            # Tight: a slightly smaller delta would violate the budget.
+            assert reduction.f(delta - 0.01) > z - 1e-9
+
+
+class TestPiecewiseLinearReduction:
+    def test_discretization_matches_at_knots(self, reduction):
+        pw = reduction.piecewise(19)
+        for knot in pw.knots:
+            assert pw.f(float(knot)) == pytest.approx(reduction.f(float(knot)))
+
+    def test_interpolates_between_knots(self):
+        pw = PiecewiseLinearReduction(
+            np.array([0.0, 10.0, 20.0]), np.array([1.0, 0.5, 0.25])
+        )
+        assert pw.f(5.0) == pytest.approx(0.75)
+        assert pw.f(15.0) == pytest.approx(0.375)
+
+    def test_rate_is_segment_slope(self):
+        pw = PiecewiseLinearReduction(
+            np.array([0.0, 10.0, 20.0]), np.array([1.0, 0.5, 0.25])
+        )
+        assert pw.r(3.0) == pytest.approx(0.05)
+        assert pw.r(13.0) == pytest.approx(0.025)
+        # Right-continuity at knots: r(10) is the slope of [10, 20).
+        assert pw.r(10.0) == pytest.approx(0.025)
+        # ... except at delta_max, where the last segment's slope applies.
+        assert pw.r(20.0) == pytest.approx(0.025)
+
+    def test_normalizes_values(self):
+        pw = PiecewiseLinearReduction(
+            np.array([0.0, 1.0]), np.array([200.0, 50.0])
+        )
+        assert pw.f(0.0) == pytest.approx(1.0)
+        assert pw.f(1.0) == pytest.approx(0.25)
+
+    def test_flattens_noise_to_non_increasing(self):
+        pw = PiecewiseLinearReduction(
+            np.array([0.0, 1.0, 2.0, 3.0]), np.array([1.0, 0.5, 0.6, 0.4])
+        )
+        values = [pw.f(d) for d in np.linspace(0, 3, 13)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rejects_uneven_knots(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearReduction(
+                np.array([0.0, 1.0, 5.0]), np.array([1.0, 0.5, 0.2])
+            )
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearReduction(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_n_segments(self, reduction):
+        assert reduction.piecewise(95).n_segments == 95
+
+
+class TestEmpiricalMeasurement:
+    def test_measured_curve_properties(self, small_trace):
+        measured = measure_reduction_from_trace(small_trace, 5.0, 100.0, n_samples=8)
+        assert measured.f(5.0) == pytest.approx(1.0)
+        values = [measured.f(d) for d in np.linspace(5, 100, 30)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        # A 100 m threshold must shed a majority of a 5 m threshold's load.
+        assert measured.f(100.0) < 0.7
+
+    def test_requires_two_samples(self, small_trace):
+        with pytest.raises(ValueError):
+            measure_reduction_from_trace(small_trace, 5.0, 100.0, n_samples=1)

@@ -1,0 +1,179 @@
+"""Unit tests for the statistics grid."""
+
+import numpy as np
+import pytest
+
+from repro.core import StatisticsGrid
+from repro.geo import Point, Rect
+from repro.queries import RangeQuery
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestNodeStatistics:
+    def test_counts_sum_to_population(self, rng):
+        positions = rng.uniform(0, 100, size=(250, 2))
+        grid = StatisticsGrid.from_snapshot(BOUNDS, 8, positions)
+        assert grid.total_nodes == pytest.approx(250.0)
+
+    def test_node_lands_in_correct_cell(self):
+        grid = StatisticsGrid.from_snapshot(
+            BOUNDS, 4, np.array([[10.0, 10.0], [90.0, 90.0]])
+        )
+        assert grid.n[0, 0] == 1
+        assert grid.n[3, 3] == 1
+
+    def test_out_of_bounds_nodes_clamp(self):
+        grid = StatisticsGrid.from_snapshot(BOUNDS, 4, np.array([[-5.0, 500.0]]))
+        assert grid.n[0, 3] == 1
+
+    def test_mean_speed_per_cell(self):
+        positions = np.array([[10.0, 10.0], [12.0, 12.0], [90.0, 90.0]])
+        speeds = np.array([10.0, 20.0, 6.0])
+        grid = StatisticsGrid.from_snapshot(BOUNDS, 4, positions, speeds)
+        assert grid.s[0, 0] == pytest.approx(15.0)
+        assert grid.s[3, 3] == pytest.approx(6.0)
+
+    def test_global_mean_speed_is_node_weighted(self):
+        positions = np.array([[10.0, 10.0], [12.0, 12.0], [90.0, 90.0]])
+        speeds = np.array([10.0, 20.0, 6.0])
+        grid = StatisticsGrid.from_snapshot(BOUNDS, 4, positions, speeds)
+        assert grid.mean_speed == pytest.approx((10 + 20 + 6) / 3)
+
+    def test_empty_cells_have_zero_speed(self):
+        grid = StatisticsGrid.from_snapshot(BOUNDS, 4, np.array([[10.0, 10.0]]))
+        assert grid.s[2, 2] == 0.0
+
+    def test_speeds_shape_validated(self):
+        with pytest.raises(ValueError):
+            StatisticsGrid.from_snapshot(
+                BOUNDS, 4, np.zeros((3, 2)), np.zeros(2)
+            )
+
+
+class TestQueryStatistics:
+    def test_fully_contained_query_counts_once(self):
+        grid = StatisticsGrid(BOUNDS, 1)
+        grid.set_query_statistics([RangeQuery(0, Rect(10, 10, 20, 20))])
+        assert grid.total_queries == pytest.approx(1.0)
+
+    def test_fractional_counting_across_cells(self):
+        grid = StatisticsGrid(BOUNDS, 2)
+        # A query straddling the vertical midline, 50/50.
+        grid.set_query_statistics([RangeQuery(0, Rect(40, 10, 60, 30))])
+        assert grid.m[0, 0] == pytest.approx(0.5)
+        assert grid.m[1, 0] == pytest.approx(0.5)
+        assert grid.total_queries == pytest.approx(1.0)
+
+    def test_query_across_four_cells(self):
+        grid = StatisticsGrid(BOUNDS, 2)
+        grid.set_query_statistics([RangeQuery(0, Rect(40, 40, 60, 60))])
+        for i in range(2):
+            for j in range(2):
+                assert grid.m[i, j] == pytest.approx(0.25)
+
+    def test_query_partially_outside_bounds_counts_partially(self):
+        grid = StatisticsGrid(BOUNDS, 1)
+        # Half of this query is outside the monitoring space.
+        grid.set_query_statistics([RangeQuery(0, Rect(-10, 0, 10, 10))])
+        assert grid.total_queries == pytest.approx(0.5)
+
+    def test_total_preserved_for_many_random_queries(self, rng):
+        grid = StatisticsGrid(BOUNDS, 8)
+        queries = []
+        for k in range(30):
+            cx, cy = rng.uniform(10, 90, 2)
+            side = rng.uniform(4, 20)
+            queries.append(RangeQuery(k, Rect.from_center(Point(cx, cy), side)))
+        grid.set_query_statistics(queries)
+        assert grid.total_queries == pytest.approx(30.0, abs=1e-6)
+
+
+class TestIncrementalMaintenance:
+    def test_ingest_and_roll(self):
+        grid = StatisticsGrid(BOUNDS, 4)
+        grid.ingest_update(10.0, 10.0, speed=4.0)
+        grid.ingest_update(12.0, 12.0, speed=8.0)
+        grid.roll()
+        assert grid.n[0, 0] == pytest.approx(2.0)
+        assert grid.s[0, 0] == pytest.approx(6.0)
+
+    def test_roll_normalizes_by_updates_per_node(self):
+        grid = StatisticsGrid(BOUNDS, 4)
+        for _ in range(10):
+            grid.ingest_update(10.0, 10.0, speed=5.0)
+        grid.roll(expected_updates_per_node=5.0)
+        assert grid.n[0, 0] == pytest.approx(2.0)
+
+    def test_roll_clears_accumulators(self):
+        grid = StatisticsGrid(BOUNDS, 4)
+        grid.ingest_update(10.0, 10.0)
+        grid.roll()
+        grid.roll()
+        assert grid.total_nodes == 0.0
+
+    def test_roll_rejects_bad_normalization(self):
+        with pytest.raises(ValueError):
+            StatisticsGrid(BOUNDS, 4).roll(expected_updates_per_node=0.0)
+
+
+class TestGeometry:
+    def test_cell_rect_tiles_bounds(self):
+        grid = StatisticsGrid(BOUNDS, 4)
+        total = sum(
+            grid.cell_rect(i, j).area for i in range(4) for j in range(4)
+        )
+        assert total == pytest.approx(BOUNDS.area)
+
+    def test_cell_rect_bounds_checked(self):
+        grid = StatisticsGrid(BOUNDS, 4)
+        with pytest.raises(IndexError):
+            grid.cell_rect(4, 0)
+
+    def test_cell_indices_vectorized_matches_scalar(self, rng):
+        grid = StatisticsGrid(BOUNDS, 8)
+        positions = rng.uniform(-10, 110, size=(50, 2))
+        ix, iy = grid.cell_indices(positions)
+        for k in range(50):
+            assert (ix[k], iy[k]) == grid._cell_of(positions[k, 0], positions[k, 1])
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            StatisticsGrid(BOUNDS, 0)
+
+
+class TestGridIndexPiggyback:
+    def test_counts_match_index(self, rng):
+        from repro.index import GridIndex
+
+        index = GridIndex(BOUNDS, 8)
+        positions = rng.uniform(0, 100, size=(120, 2))
+        index.bulk_build(positions)
+        grid = StatisticsGrid.from_grid_index(index)
+        assert grid.alpha == 8
+        assert grid.total_nodes == 120
+        np.testing.assert_array_equal(grid.n, index.cell_counts())
+
+    def test_matches_snapshot_construction(self, rng):
+        from repro.index import GridIndex
+
+        positions = rng.uniform(0, 100, size=(80, 2))
+        index = GridIndex(BOUNDS, 4)
+        index.bulk_build(positions)
+        via_index = StatisticsGrid.from_grid_index(index)
+        via_snapshot = StatisticsGrid.from_snapshot(BOUNDS, 4, positions)
+        np.testing.assert_allclose(via_index.n, via_snapshot.n)
+
+    def test_speeds_and_queries(self, rng):
+        from repro.index import GridIndex
+
+        positions = np.array([[10.0, 10.0], [12.0, 11.0], [90.0, 90.0]])
+        speeds = np.array([4.0, 8.0, 2.0])
+        index = GridIndex(BOUNDS, 4)
+        index.bulk_build(positions)
+        grid = StatisticsGrid.from_grid_index(
+            index, queries=[RangeQuery(0, Rect(0, 0, 25, 25))], speeds=speeds
+        )
+        assert grid.s[0, 0] == pytest.approx(6.0)
+        assert grid.s[3, 3] == pytest.approx(2.0)
+        assert grid.total_queries == pytest.approx(1.0)

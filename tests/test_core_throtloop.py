@@ -1,0 +1,133 @@
+"""Unit tests for the THROTLOOP throttle-fraction controller."""
+
+import pytest
+
+from repro.core import ThrotLoop
+
+
+class TestConstruction:
+    def test_defaults(self):
+        loop = ThrotLoop(queue_capacity=100)
+        assert loop.z == 1.0
+        assert loop.target_utilization == pytest.approx(0.99)
+
+    def test_rejects_tiny_queue(self):
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=1)
+
+    def test_rejects_bad_initial_z(self):
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, z=0.0)
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, z=1.5)
+
+
+class TestControlLaw:
+    def test_overload_decreases_z(self):
+        loop = ThrotLoop(queue_capacity=100)
+        z = loop.step(arrival_rate=200.0, service_rate=100.0)  # rho = 2
+        assert z == pytest.approx(1.0 * 0.99 / 2.0)
+
+    def test_underload_increases_z_capped_at_one(self):
+        loop = ThrotLoop(queue_capacity=100, z=0.5)
+        z = loop.step(arrival_rate=50.0, service_rate=100.0)  # rho = 0.5
+        assert z == pytest.approx(min(1.0, 0.5 * 0.99 / 0.5))
+
+    def test_z_never_exceeds_one(self):
+        loop = ThrotLoop(queue_capacity=10)
+        for _ in range(5):
+            z = loop.step(arrival_rate=1.0, service_rate=100.0)
+        assert z == 1.0
+
+    def test_z_floor_guards_collapse(self):
+        loop = ThrotLoop(queue_capacity=10, z_floor=0.05)
+        z = loop.step(arrival_rate=1e9, service_rate=1.0)
+        assert z == pytest.approx(0.05)
+
+    def test_exact_target_utilization_is_stable(self):
+        loop = ThrotLoop(queue_capacity=100, z=0.6)
+        target = loop.target_utilization
+        z = loop.step_utilization(target)
+        assert z == pytest.approx(0.6)
+
+    def test_zero_arrivals_opens_fully(self):
+        loop = ThrotLoop(queue_capacity=10, z=0.3)
+        assert loop.step(arrival_rate=0.0, service_rate=10.0) == 1.0
+
+    def test_converges_under_proportional_plant(self):
+        """Closed loop: arrival rate proportional to z. Must converge to
+        the rate where utilization hits the target."""
+        loop = ThrotLoop(queue_capacity=50)
+        full_load, capacity = 300.0, 100.0
+        for _ in range(20):
+            arrivals = full_load * loop.z
+            loop.step(arrivals, capacity)
+        final_utilization = full_load * loop.z / capacity
+        assert final_utilization == pytest.approx(loop.target_utilization, rel=1e-3)
+
+    def test_history_recorded(self):
+        loop = ThrotLoop(queue_capacity=10)
+        loop.step(5.0, 10.0)
+        loop.step(20.0, 10.0)
+        assert len(loop.history) == 2
+
+    def test_reset(self):
+        loop = ThrotLoop(queue_capacity=10)
+        loop.step(100.0, 1.0)
+        loop.reset()
+        assert loop.z == 1.0
+        assert loop.history == []
+
+
+class TestValidation:
+    def test_rejects_bad_rates(self):
+        loop = ThrotLoop(queue_capacity=10)
+        with pytest.raises(ValueError):
+            loop.step(arrival_rate=-1.0, service_rate=10.0)
+        with pytest.raises(ValueError):
+            loop.step(arrival_rate=1.0, service_rate=0.0)
+        with pytest.raises(ValueError):
+            loop.step_utilization(-0.5)
+
+
+class TestSmoothing:
+    def test_smoothing_validated(self):
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, smoothing=0.0)
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, smoothing=1.5)
+
+    def test_smoothing_one_equals_raw(self):
+        raw = ThrotLoop(queue_capacity=50)
+        smooth = ThrotLoop(queue_capacity=50, smoothing=1.0)
+        for rho in (2.0, 0.5, 1.2, 0.8):
+            assert raw.step_utilization(rho) == pytest.approx(
+                smooth.step_utilization(rho)
+            )
+
+    def test_spike_resistance(self):
+        """A single pathological measurement moves the smoothed loop far
+        less than the raw one."""
+        raw = ThrotLoop(queue_capacity=50)
+        smooth = ThrotLoop(queue_capacity=50, smoothing=0.2)
+        steady = raw.target_utilization
+        for _ in range(5):
+            raw.step_utilization(steady)
+            smooth.step_utilization(steady)
+        raw.step_utilization(10.0)     # spike
+        smooth.step_utilization(10.0)
+        assert smooth.z > raw.z
+
+    def test_smoothed_loop_still_converges(self):
+        loop = ThrotLoop(queue_capacity=50, smoothing=0.3)
+        full_load, capacity = 300.0, 100.0
+        for _ in range(60):
+            loop.step(full_load * loop.z, capacity)
+        final_utilization = full_load * loop.z / capacity
+        assert final_utilization == pytest.approx(loop.target_utilization, rel=0.05)
+
+    def test_reset_clears_smoothing_state(self):
+        loop = ThrotLoop(queue_capacity=50, smoothing=0.2)
+        loop.step_utilization(5.0)
+        loop.reset()
+        assert loop._smoothed_utilization is None

@@ -1,0 +1,232 @@
+"""Tests for the incremental CQ engine and query index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cq import IncrementalCQEngine, MovingRangeQuery, QueryIndex, ResultDelta
+from repro.geo import Point, Rect
+from repro.queries import RangeQuery
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestQueryIndex:
+    def test_add_and_point_lookup(self):
+        index = QueryIndex(BOUNDS, 8)
+        index.add(RangeQuery(1, Rect(10, 10, 30, 30)))
+        index.add(RangeQuery(2, Rect(20, 20, 60, 60)))
+        assert index.queries_at(15.0, 15.0) == {1}
+        assert index.queries_at(25.0, 25.0) == {1, 2}
+        assert index.queries_at(50.0, 50.0) == {2}
+        assert index.queries_at(90.0, 90.0) == set()
+
+    def test_duplicate_id_rejected(self):
+        index = QueryIndex(BOUNDS, 8)
+        index.add(RangeQuery(1, Rect(0, 0, 10, 10)))
+        with pytest.raises(KeyError):
+            index.add(RangeQuery(1, Rect(5, 5, 15, 15)))
+
+    def test_remove(self):
+        index = QueryIndex(BOUNDS, 8)
+        index.add(RangeQuery(1, Rect(10, 10, 30, 30)))
+        index.remove(1)
+        assert index.queries_at(15.0, 15.0) == set()
+        assert len(index) == 0
+        with pytest.raises(KeyError):
+            index.remove(1)
+
+    def test_replace_moves_query(self):
+        index = QueryIndex(BOUNDS, 8)
+        index.add(RangeQuery(1, Rect(0, 0, 10, 10)))
+        index.replace(RangeQuery(1, Rect(80, 80, 95, 95)))
+        assert index.queries_at(5.0, 5.0) == set()
+        assert index.queries_at(90.0, 90.0) == {1}
+
+    def test_matches_brute_force(self, rng):
+        index = QueryIndex(BOUNDS, 8)
+        queries = []
+        for k in range(40):
+            cx, cy = rng.uniform(5, 95, 2)
+            side = rng.uniform(2, 25)
+            q = RangeQuery(k, Rect.from_center(Point(cx, cy), side))
+            queries.append(q)
+            index.add(q)
+        for _ in range(100):
+            x, y = rng.uniform(0, 100, 2)
+            expected = {q.query_id for q in queries if q.rect.contains_xy(x, y)}
+            assert index.queries_at(x, y) == expected
+
+    def test_candidate_checks_counted(self):
+        index = QueryIndex(BOUNDS, 8)
+        index.add(RangeQuery(1, Rect(0, 0, 100, 100)))
+        index.queries_at(50.0, 50.0)
+        assert index.candidate_checks == 1
+
+
+class TestEngineStaticQueries:
+    def _engine(self, queries=None, n_nodes=5) -> IncrementalCQEngine:
+        return IncrementalCQEngine(BOUNDS, n_nodes, queries)
+
+    def test_update_enters_query(self):
+        engine = self._engine([RangeQuery(0, Rect(0, 0, 50, 50))])
+        deltas = engine.apply_update(1.0, 3, 10.0, 10.0)
+        assert len(deltas) == 1
+        assert deltas[0].added == (3,)
+        assert engine.result(0) == {3}
+
+    def test_update_leaves_query(self):
+        engine = self._engine([RangeQuery(0, Rect(0, 0, 50, 50))])
+        engine.apply_update(1.0, 3, 10.0, 10.0)
+        deltas = engine.apply_update(2.0, 3, 90.0, 90.0)
+        assert deltas[0].removed == (3,)
+        assert engine.result(0) == frozenset()
+
+    def test_movement_within_query_emits_nothing(self):
+        engine = self._engine([RangeQuery(0, Rect(0, 0, 50, 50))])
+        engine.apply_update(1.0, 3, 10.0, 10.0)
+        assert engine.apply_update(2.0, 3, 20.0, 20.0) == []
+
+    def test_crossing_between_queries(self):
+        engine = self._engine(
+            [RangeQuery(0, Rect(0, 0, 50, 50)), RangeQuery(1, Rect(50, 0, 100, 50))]
+        )
+        engine.apply_update(1.0, 0, 25.0, 25.0)
+        deltas = engine.apply_update(2.0, 0, 75.0, 25.0)
+        kinds = {(d.query_id, bool(d.added)) for d in deltas}
+        assert kinds == {(0, False), (1, True)}
+
+    def test_install_over_populated_space(self):
+        engine = self._engine()
+        engine.apply_update(0.0, 1, 10.0, 10.0)
+        engine.apply_update(0.0, 2, 20.0, 20.0)
+        delta = engine.install(RangeQuery(7, Rect(0, 0, 50, 50)))
+        assert set(delta.added) == {1, 2}
+        assert engine.result(7) == {1, 2}
+
+    def test_uninstall_clears_membership(self):
+        engine = self._engine([RangeQuery(0, Rect(0, 0, 50, 50))])
+        engine.apply_update(0.0, 1, 10.0, 10.0)
+        engine.uninstall(0)
+        # The node moving out later must not reference the dead query.
+        assert engine.apply_update(1.0, 1, 90.0, 90.0) == []
+
+    def test_validation(self):
+        engine = self._engine()
+        with pytest.raises(ValueError):
+            engine.apply_update(0.0, 99, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            IncrementalCQEngine(BOUNDS, 0)
+
+
+class TestRefreshAndEquivalence:
+    def test_refresh_matches_brute_force_over_trace(self, small_trace, small_queries):
+        """Incremental maintenance over a real trace must equal per-tick
+        brute-force evaluation at every tick."""
+        engine = IncrementalCQEngine(
+            small_trace.bounds, small_trace.num_nodes, small_queries
+        )
+        for tick in range(small_trace.num_ticks):
+            engine.refresh(tick * small_trace.dt, small_trace.positions[tick])
+            for q in small_queries:
+                expected = set(q.evaluate(small_trace.positions[tick]).tolist())
+                assert set(engine.result(q.query_id)) == expected
+
+    def test_deltas_replay_to_final_results(self, small_trace, small_queries):
+        """Applying the emitted delta stream from scratch reproduces the
+        engine's final result sets (stream consistency)."""
+        engine = IncrementalCQEngine(
+            small_trace.bounds, small_trace.num_nodes, small_queries
+        )
+        replayed: dict[int, set] = {q.query_id: set() for q in small_queries}
+        for tick in range(small_trace.num_ticks):
+            deltas = engine.refresh(tick * small_trace.dt, small_trace.positions[tick])
+            for d in deltas:
+                replayed[d.query_id].update(d.added)
+                replayed[d.query_id].difference_update(d.removed)
+        for q in small_queries:
+            assert replayed[q.query_id] == set(engine.result(q.query_id))
+
+    def test_refresh_skips_unknown_positions(self):
+        engine = IncrementalCQEngine(BOUNDS, 3, [RangeQuery(0, Rect(0, 0, 100, 100))])
+        believed = np.array([[10.0, 10.0], [np.nan, np.nan], [20.0, 20.0]])
+        engine.refresh(0.0, believed)
+        assert engine.result(0) == {0, 2}
+
+    def test_refresh_shape_validated(self):
+        engine = IncrementalCQEngine(BOUNDS, 3)
+        with pytest.raises(ValueError):
+            engine.refresh(0.0, np.zeros((2, 2)))
+
+
+class TestMovingQueries:
+    def test_follows_anchor(self):
+        engine = IncrementalCQEngine(BOUNDS, 4)
+        engine.apply_update(0.0, 0, 20.0, 20.0)  # the anchor (a taxi)
+        engine.apply_update(0.0, 1, 22.0, 22.0)  # nearby node
+        engine.apply_update(0.0, 2, 80.0, 80.0)  # far node
+        engine.install_moving(MovingRangeQuery(5, anchor_node=0, side=10.0))
+        assert engine.result(5) == {0, 1}
+        # Anchor drives across the map; membership flips.
+        deltas = engine.apply_update(1.0, 0, 80.0, 80.0)
+        assert engine.result(5) == {0, 2}
+        assert any(d.query_id == 5 for d in deltas)
+
+    def test_non_anchor_updates_still_reconcile(self):
+        engine = IncrementalCQEngine(BOUNDS, 3)
+        engine.apply_update(0.0, 0, 50.0, 50.0)
+        engine.install_moving(MovingRangeQuery(9, anchor_node=0, side=20.0))
+        engine.apply_update(1.0, 1, 52.0, 52.0)
+        assert engine.result(9) == {0, 1}
+
+    def test_anchor_out_of_range_rejected(self):
+        engine = IncrementalCQEngine(BOUNDS, 2)
+        with pytest.raises(ValueError):
+            engine.install_moving(MovingRangeQuery(1, anchor_node=5, side=10.0))
+
+    def test_uninstall_moving(self):
+        engine = IncrementalCQEngine(BOUNDS, 2)
+        engine.apply_update(0.0, 0, 50.0, 50.0)
+        engine.install_moving(MovingRangeQuery(1, anchor_node=0, side=10.0))
+        engine.uninstall(1)
+        assert engine.apply_update(1.0, 0, 60.0, 60.0) == []
+        assert engine.stats.moving_query_moves == 0
+
+    def test_stats_accounting(self):
+        engine = IncrementalCQEngine(BOUNDS, 2, [RangeQuery(0, Rect(0, 0, 50, 50))])
+        engine.apply_update(0.0, 0, 10.0, 10.0)
+        engine.apply_update(1.0, 0, 90.0, 90.0)
+        assert engine.stats.updates_processed == 2
+        assert engine.stats.deltas_emitted == 2
+        assert engine.stats.memberships_changed == 2
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_incremental_equals_brute_force(self, data):
+        """Random queries + random update streams: incremental results
+        always equal a from-scratch evaluation."""
+        n_nodes = data.draw(st.integers(min_value=1, max_value=8))
+        n_queries = data.draw(st.integers(min_value=1, max_value=6))
+        queries = []
+        for k in range(n_queries):
+            x1 = data.draw(st.floats(min_value=0, max_value=80))
+            y1 = data.draw(st.floats(min_value=0, max_value=80))
+            w = data.draw(st.floats(min_value=1, max_value=20))
+            queries.append(RangeQuery(k, Rect(x1, y1, x1 + w, y1 + w)))
+        engine = IncrementalCQEngine(BOUNDS, n_nodes, queries)
+        positions = {}
+        for step in range(20):
+            node = data.draw(st.integers(min_value=0, max_value=n_nodes - 1))
+            x = data.draw(st.floats(min_value=0, max_value=99.9))
+            y = data.draw(st.floats(min_value=0, max_value=99.9))
+            engine.apply_update(float(step), node, x, y)
+            positions[node] = (x, y)
+            for q in queries:
+                expected = {
+                    nid for nid, (px, py) in positions.items()
+                    if q.rect.contains_xy(px, py)
+                }
+                assert set(engine.result(q.query_id)) == expected

@@ -1,0 +1,83 @@
+"""Tests for the terminal diagnostics (plan heatmap, density map, fig03 art)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticReduction,
+    LiraConfig,
+    LiraLoadShedder,
+    StatisticsGrid,
+    render_density_map,
+    render_plan_heatmap,
+)
+
+
+@pytest.fixture()
+def plan(small_grid, reduction):
+    shedder = LiraLoadShedder(LiraConfig(l=16, alpha=16, z=0.4), reduction)
+    return shedder.adapt(small_grid)
+
+
+class TestPlanHeatmap:
+    def test_dimensions_and_legend(self, plan):
+        art = render_plan_heatmap(plan, width=32)
+        lines = art.splitlines()
+        assert "update throttlers" in lines[0]
+        assert all(len(line) == 32 for line in lines[1:])
+        assert len(lines) > 4
+
+    def test_extreme_glyphs_present(self, plan):
+        """Both the lightest and darkest glyph must appear somewhere when
+        the plan has threshold variation."""
+        art = render_plan_heatmap(plan, width=48)
+        body = "\n".join(art.splitlines()[1:])
+        if plan.max_threshold_spread() > 0:
+            assert " " in body or "." in body
+            assert "@" in body
+
+    def test_width_validated(self, plan):
+        with pytest.raises(ValueError):
+            render_plan_heatmap(plan, width=2)
+
+
+class TestDensityMap:
+    def test_fields(self, small_grid):
+        for field in ("n", "m", "s"):
+            art = render_density_map(small_grid, field, width=24)
+            assert f"'{field}'" in art.splitlines()[0]
+
+    def test_unknown_field_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            render_density_map(small_grid, "z")
+
+    def test_empty_grid_renders_blank(self, small_trace):
+        empty = StatisticsGrid(small_trace.bounds, 8)
+        art = render_density_map(empty, "n", width=16)
+        body = "".join(art.splitlines()[1:])
+        assert set(body) <= {" "}
+
+    def test_dense_corner_is_darker(self):
+        from repro.geo import Rect
+
+        grid = StatisticsGrid(Rect(0, 0, 100, 100), 8)
+        positions = np.random.default_rng(1).uniform(0, 20, size=(200, 2))
+        grid.set_node_statistics(positions)
+        art = render_density_map(grid, "n", width=16)
+        lines = art.splitlines()[1:]
+        # Dense corner is bottom-left (low y renders last).
+        assert "@" in lines[-1]
+        assert "@" not in lines[0]
+
+
+class TestFig03Ascii:
+    def test_render_partitioning_ascii(self):
+        from repro.experiments import render_partitioning_ascii
+        from tests.test_experiments import MICRO
+
+        art = render_partitioning_ascii(scale=MICRO, width=24)
+        lines = art.splitlines()
+        assert len(lines) == 24
+        assert all(len(line) == 24 for line in lines)
+        # A 13-region partitioning uses more than 4 distinct glyphs.
+        assert len(set("".join(lines))) >= 5

@@ -1,0 +1,131 @@
+"""Tests for time-varying workloads and the dynamic simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import LiraConfig
+from repro.geo import Rect
+from repro.queries import RangeQuery
+from repro.sim import (
+    QueryTimeline,
+    TimedQuery,
+    make_policies,
+    run_dynamic_simulation,
+)
+
+
+def q(query_id, x1=0.0, y1=0.0, x2=100.0, y2=100.0) -> RangeQuery:
+    return RangeQuery(query_id, Rect(x1, y1, x2, y2))
+
+
+class TestTimedQuery:
+    def test_lifetime(self):
+        entry = TimedQuery(q(0), t_install=10.0, t_remove=20.0)
+        assert not entry.active_at(9.9)
+        assert entry.active_at(10.0)
+        assert entry.active_at(19.9)
+        assert not entry.active_at(20.0)
+
+    def test_forever_by_default(self):
+        entry = TimedQuery(q(0), t_install=0.0)
+        assert entry.active_at(1e12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimedQuery(q(0), t_install=5.0, t_remove=5.0)
+
+
+class TestQueryTimeline:
+    def test_active_set_changes_over_time(self):
+        timeline = QueryTimeline()
+        timeline.add(q(0), 0.0, 100.0)
+        timeline.add(q(1), 50.0)
+        assert [x.query_id for x in timeline.active_at(10.0)] == [0]
+        assert [x.query_id for x in timeline.active_at(60.0)] == [0, 1]
+        assert [x.query_id for x in timeline.active_at(150.0)] == [1]
+
+    def test_change_times(self):
+        timeline = QueryTimeline()
+        timeline.add(q(0), 0.0, 100.0)
+        timeline.add(q(1), 50.0)
+        assert timeline.change_times() == [0.0, 50.0, 100.0]
+
+    def test_phased_construction(self):
+        a = [q(0)]
+        b = [q(1), q(2)]
+        timeline = QueryTimeline.phased([(0.0, a), (100.0, b)], end_time=200.0)
+        assert [x.query_id for x in timeline.active_at(50.0)] == [0]
+        assert sorted(x.query_id for x in timeline.active_at(150.0)) == [1, 2]
+        assert timeline.active_at(250.0) == []
+
+    def test_phased_requires_order(self):
+        with pytest.raises(ValueError):
+            QueryTimeline.phased([(100.0, [q(0)]), (0.0, [q(1)])], end_time=200.0)
+        with pytest.raises(ValueError):
+            QueryTimeline.phased([], end_time=10.0)
+
+
+class TestDynamicSimulation:
+    def _timeline(self, scenario):
+        half = scenario.trace.duration / 2
+        return QueryTimeline.phased(
+            [(0.0, scenario.queries[: len(scenario.queries) // 2 or 1]),
+             (half, scenario.queries)],
+            end_time=scenario.trace.duration,
+        )
+
+    def test_runs_and_records(self, tiny_scenario):
+        policy = make_policies(
+            tiny_scenario, LiraConfig(l=13, alpha=32), include=("lira",)
+        )["lira"]
+        outcome = run_dynamic_simulation(
+            tiny_scenario.trace,
+            self._timeline(tiny_scenario),
+            policy,
+            z=0.5,
+            adapt_every=10,
+        )
+        assert outcome.times.shape == (tiny_scenario.trace.num_ticks,)
+        assert outcome.adaptations >= 2
+        assert outcome.updates_per_tick.sum() > 0
+        assert not np.isnan(outcome.mean_error())
+
+    def test_one_shot_adapts_once(self, tiny_scenario):
+        policy = make_policies(
+            tiny_scenario, LiraConfig(l=13, alpha=32), include=("lira",)
+        )["lira"]
+        outcome = run_dynamic_simulation(
+            tiny_scenario.trace,
+            self._timeline(tiny_scenario),
+            policy,
+            z=0.5,
+            adapt_every=None,
+        )
+        assert outcome.adaptations == 1
+
+    def test_mean_error_windowing(self, tiny_scenario):
+        policy = make_policies(
+            tiny_scenario, LiraConfig(l=13, alpha=32), include=("lira",)
+        )["lira"]
+        outcome = run_dynamic_simulation(
+            tiny_scenario.trace,
+            self._timeline(tiny_scenario),
+            policy,
+            z=0.5,
+            adapt_every=10,
+        )
+        duration = tiny_scenario.trace.duration
+        whole = outcome.mean_error()
+        first = outcome.mean_error(0.0, duration / 2)
+        second = outcome.mean_error(duration / 2, duration)
+        assert min(first, second) - 1e-12 <= whole <= max(first, second) + 1e-12
+
+    def test_empty_window_is_nan(self, tiny_scenario):
+        policy = make_policies(
+            tiny_scenario, LiraConfig(l=13, alpha=32), include=("lira",)
+        )["lira"]
+        outcome = run_dynamic_simulation(
+            tiny_scenario.trace, self._timeline(tiny_scenario), policy, z=0.5,
+            adapt_every=10,
+        )
+        assert np.isnan(outcome.mean_error(1e9, 2e9))

@@ -1,0 +1,111 @@
+"""Unit tests for the grid index and node table."""
+
+import numpy as np
+import pytest
+
+from repro.geo import Rect
+from repro.index import GridIndex, NodeTable
+
+
+class TestGridIndex:
+    BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+    def test_insert_and_query(self):
+        index = GridIndex(self.BOUNDS, 10)
+        index.insert(1, 5.0, 5.0)
+        index.insert(2, 50.0, 50.0)
+        assert index.query(Rect(0, 0, 10, 10)) == [1]
+        assert len(index) == 2
+
+    def test_query_matches_brute_force(self, rng):
+        index = GridIndex(self.BOUNDS, 8)
+        positions = rng.uniform(0, 100, size=(200, 2))
+        index.bulk_build(positions)
+        rect = Rect(20.0, 30.0, 70.0, 90.0)
+        expected = {
+            i for i, (x, y) in enumerate(positions) if rect.contains_xy(x, y)
+        }
+        assert set(index.query(rect)) == expected
+
+    def test_move_point_between_cells(self):
+        index = GridIndex(self.BOUNDS, 10)
+        index.insert(7, 5.0, 5.0)
+        index.insert(7, 95.0, 95.0)  # move
+        assert index.query(Rect(0, 0, 10, 10)) == []
+        assert index.query(Rect(90, 90, 100, 100)) == [7]
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = GridIndex(self.BOUNDS, 4)
+        index.insert(3, 10.0, 10.0)
+        index.remove(3)
+        assert len(index) == 0
+        assert index.query(Rect(0, 0, 100, 100)) == []
+        with pytest.raises(KeyError):
+            index.remove(3)
+
+    def test_out_of_bounds_points_clamp_to_edges(self):
+        index = GridIndex(self.BOUNDS, 4)
+        index.insert(1, -50.0, 500.0)
+        # Clamped into the boundary cell; still findable by cell scan.
+        assert index.cell_of(-50.0, 500.0) == (0, 3)
+
+    def test_cell_counts(self, rng):
+        index = GridIndex(self.BOUNDS, 4)
+        positions = rng.uniform(0, 100, size=(50, 2))
+        index.bulk_build(positions)
+        counts = index.cell_counts()
+        assert counts.sum() == 50
+        assert counts.shape == (4, 4)
+
+    def test_rejects_bad_cells(self):
+        with pytest.raises(ValueError):
+            GridIndex(self.BOUNDS, 0)
+
+
+class TestNodeTable:
+    def test_predict_extrapolates_linearly(self):
+        table = NodeTable(2)
+        table.ingest(
+            0.0,
+            np.array([0, 1]),
+            np.array([[0.0, 0.0], [10.0, 10.0]]),
+            np.array([[1.0, 0.0], [0.0, -1.0]]),
+        )
+        predicted = table.predict(5.0)
+        np.testing.assert_allclose(predicted[0], [5.0, 0.0])
+        np.testing.assert_allclose(predicted[1], [10.0, 5.0])
+
+    def test_unknown_nodes_predict_nan(self):
+        table = NodeTable(3)
+        table.ingest(0.0, np.array([1]), np.array([[1.0, 1.0]]), np.zeros((1, 2)))
+        predicted = table.predict(1.0)
+        assert np.isnan(predicted[0]).all()
+        assert not np.isnan(predicted[1]).any()
+        assert np.isnan(predicted[2]).all()
+
+    def test_known_mask(self):
+        table = NodeTable(3)
+        table.ingest(0.0, np.array([2]), np.array([[0.0, 0.0]]), np.zeros((1, 2)))
+        np.testing.assert_array_equal(table.known_mask, [False, False, True])
+
+    def test_newer_report_overwrites(self):
+        table = NodeTable(1)
+        table.ingest(0.0, np.array([0]), np.array([[0.0, 0.0]]), np.array([[1.0, 0.0]]))
+        table.ingest(10.0, np.array([0]), np.array([[100.0, 0.0]]), np.zeros((1, 2)))
+        np.testing.assert_allclose(table.predict(20.0)[0], [100.0, 0.0])
+
+    def test_empty_ingest_is_noop(self):
+        table = NodeTable(2)
+        table.ingest(0.0, np.array([], dtype=np.int64), np.empty((0, 2)), np.empty((0, 2)))
+        assert table.updates_applied == 0
+
+    def test_update_counter(self):
+        table = NodeTable(4)
+        table.ingest(0.0, np.array([0, 1]), np.zeros((2, 2)), np.zeros((2, 2)))
+        table.ingest(1.0, np.array([1]), np.zeros((1, 2)), np.zeros((1, 2)))
+        assert table.updates_applied == 3
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            NodeTable(0)

@@ -1,0 +1,140 @@
+"""Unit tests for accuracy and cost metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticReduction, LiraConfig, LiraLoadShedder
+from repro.metrics import (
+    containment_errors,
+    fairness_stats,
+    mean_containment_error,
+    mean_position_error,
+    messaging_cost,
+    position_errors,
+    time_adaptation,
+)
+from repro.server import BYTES_PER_REGION, place_uniform_stations
+
+
+def ids(*values) -> np.ndarray:
+    return np.array(values, dtype=np.int64)
+
+
+class TestContainmentError:
+    def test_perfect_results_zero_error(self):
+        true = [ids(1, 2, 3)]
+        assert mean_containment_error(true, [ids(1, 2, 3)]) == 0.0
+
+    def test_missing_items(self):
+        # 1 of 4 missing -> error 0.25.
+        errors = containment_errors([ids(1, 2, 3, 4)], [ids(1, 2, 3)])
+        assert errors[0] == pytest.approx(0.25)
+
+    def test_extra_items(self):
+        # 2 extras over a 4-item truth -> 0.5.
+        errors = containment_errors([ids(1, 2, 3, 4)], [ids(1, 2, 3, 4, 5, 6)])
+        assert errors[0] == pytest.approx(0.5)
+
+    def test_missing_and_extra_combine(self):
+        # 1 missing + 1 extra over 2-item truth -> 1.0.
+        errors = containment_errors([ids(1, 2)], [ids(1, 3)])
+        assert errors[0] == pytest.approx(1.0)
+
+    def test_empty_truth_is_nan_and_skipped(self):
+        errors = containment_errors([ids(), ids(1)], [ids(5), ids(1)])
+        assert np.isnan(errors[0])
+        assert mean_containment_error([ids(), ids(1)], [ids(5), ids(1)]) == 0.0
+
+    def test_error_can_exceed_one(self):
+        errors = containment_errors([ids(1)], [ids(2, 3, 4)])
+        assert errors[0] == pytest.approx(4.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            containment_errors([ids(1)], [ids(1), ids(2)])
+
+    def test_order_does_not_matter(self):
+        a = containment_errors([ids(3, 1, 2)], [ids(2, 3)])
+        b = containment_errors([ids(1, 2, 3)], [ids(3, 2)])
+        assert a[0] == b[0]
+
+
+class TestPositionError:
+    def test_zero_when_positions_match(self):
+        believed = np.array([[0.0, 0.0], [1.0, 1.0]])
+        assert mean_position_error([ids(0, 1)], believed, believed.copy()) == 0.0
+
+    def test_mean_distance_over_members(self):
+        believed = np.array([[0.0, 0.0], [10.0, 0.0]])
+        true = np.array([[3.0, 4.0], [10.0, 0.0]])
+        errors = position_errors([ids(0, 1)], believed, true)
+        assert errors[0] == pytest.approx(2.5)  # (5 + 0) / 2
+
+    def test_only_result_members_counted(self):
+        believed = np.array([[0.0, 0.0], [100.0, 100.0]])
+        true = np.array([[0.0, 0.0], [0.0, 0.0]])
+        errors = position_errors([ids(0)], believed, true)
+        assert errors[0] == 0.0
+
+    def test_empty_result_is_nan(self):
+        believed = np.zeros((2, 2))
+        errors = position_errors([ids()], believed, believed)
+        assert np.isnan(errors[0])
+
+    def test_mean_skips_empty_results(self):
+        believed = np.array([[0.0, 0.0]])
+        true = np.array([[3.0, 4.0]])
+        assert mean_position_error([ids(), ids(0)], believed, true) == pytest.approx(5.0)
+
+
+class TestFairnessStats:
+    def test_basic_moments(self):
+        stats = fairness_stats(np.array([0.1, 0.2, 0.3]))
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.std_dev == pytest.approx(np.std([0.1, 0.2, 0.3]))
+
+    def test_coefficient_of_variance(self):
+        stats = fairness_stats(np.array([1.0, 3.0]))
+        assert stats.coefficient_of_variance == pytest.approx(1.0 / 2.0)
+
+    def test_zero_mean_gives_zero_cov(self):
+        stats = fairness_stats(np.array([0.0, 0.0]))
+        assert stats.coefficient_of_variance == 0.0
+
+    def test_nans_excluded(self):
+        stats = fairness_stats(np.array([0.2, np.nan, 0.4]))
+        assert stats.mean == pytest.approx(0.3)
+
+    def test_all_nan_gives_zeros(self):
+        stats = fairness_stats(np.array([np.nan]))
+        assert stats.mean == 0.0 and stats.std_dev == 0.0
+
+
+class TestCostMetrics:
+    def test_time_adaptation(self, small_grid):
+        shedder = LiraLoadShedder(
+            LiraConfig(l=16, alpha=16), AnalyticReduction(5.0, 100.0)
+        )
+        timing = time_adaptation(shedder, small_grid, repeats=2)
+        assert timing.repeats == 2
+        assert 0 < timing.minimum <= timing.mean <= timing.maximum
+
+    def test_time_adaptation_validates_repeats(self, small_grid):
+        shedder = LiraLoadShedder(
+            LiraConfig(l=16, alpha=16), AnalyticReduction(5.0, 100.0)
+        )
+        with pytest.raises(ValueError):
+            time_adaptation(shedder, small_grid, repeats=0)
+
+    def test_messaging_cost(self, small_grid):
+        shedder = LiraLoadShedder(
+            LiraConfig(l=16, alpha=16), AnalyticReduction(5.0, 100.0)
+        )
+        plan = shedder.adapt(small_grid)
+        stations = place_uniform_stations(small_grid.bounds, 1000.0)
+        cost = messaging_cost(stations, plan)
+        assert cost.regions_per_station > 0
+        assert cost.broadcast_bytes == pytest.approx(
+            cost.regions_per_station * BYTES_PER_REGION
+        )
+        assert isinstance(cost.fits_in_one_packet, bool)

@@ -1,0 +1,164 @@
+"""Unit tests for dead reckoning (linear models, tracker, fleet)."""
+
+import numpy as np
+import pytest
+
+from repro.geo import Point
+from repro.motion import (
+    DeadReckoningFleet,
+    DeadReckoningTracker,
+    LinearMotionModel,
+    MotionReport,
+)
+
+
+class TestLinearMotionModel:
+    def test_predicts_linearly(self):
+        model = LinearMotionModel(Point(0.0, 0.0), Point(2.0, -1.0), time=10.0)
+        assert model.predict(15.0) == Point(10.0, -5.0)
+
+    def test_prediction_at_report_time_is_position(self):
+        model = LinearMotionModel(Point(3.0, 4.0), Point(1.0, 1.0), time=7.0)
+        assert model.predict(7.0) == Point(3.0, 4.0)
+
+    def test_deviation(self):
+        model = LinearMotionModel(Point(0.0, 0.0), Point(1.0, 0.0), time=0.0)
+        assert model.deviation(4.0, Point(4.0, 3.0)) == pytest.approx(3.0)
+
+    def test_from_report(self):
+        report = MotionReport(5, 1.0, Point(2.0, 2.0), Point(0.5, 0.5))
+        model = LinearMotionModel.from_report(report)
+        assert model.position == report.position
+        assert model.velocity == report.velocity
+        assert model.time == report.time
+
+
+class TestDeadReckoningTracker:
+    def test_first_observation_always_reports(self):
+        tracker = DeadReckoningTracker(node_id=1)
+        report = tracker.observe(0.0, Point(0, 0), Point(1, 0), threshold=100.0)
+        assert report is not None
+        assert report.node_id == 1
+
+    def test_no_report_while_prediction_holds(self):
+        tracker = DeadReckoningTracker(0)
+        tracker.observe(0.0, Point(0, 0), Point(1, 0), threshold=5.0)
+        # Moving exactly as predicted: no report.
+        assert tracker.observe(10.0, Point(10, 0), Point(1, 0), threshold=5.0) is None
+
+    def test_report_when_deviation_exceeds_threshold(self):
+        tracker = DeadReckoningTracker(0)
+        tracker.observe(0.0, Point(0, 0), Point(1, 0), threshold=5.0)
+        # Actual position deviates 6 m laterally from the prediction.
+        report = tracker.observe(10.0, Point(10, 6), Point(1, 0), threshold=5.0)
+        assert report is not None
+        assert tracker.reports_sent == 2
+
+    def test_deviation_exactly_at_threshold_does_not_report(self):
+        tracker = DeadReckoningTracker(0)
+        tracker.observe(0.0, Point(0, 0), Point(0, 0), threshold=5.0)
+        assert tracker.observe(1.0, Point(5.0, 0.0), Point(0, 0), threshold=5.0) is None
+
+    def test_negative_threshold_rejected(self):
+        tracker = DeadReckoningTracker(0)
+        with pytest.raises(ValueError):
+            tracker.observe(0.0, Point(0, 0), Point(0, 0), threshold=-1.0)
+
+    def test_larger_threshold_fewer_reports(self, rng):
+        """Monotonicity of the update volume in delta — the premise of f."""
+        t_ticks, dt = 60, 1.0
+        # A wandering node: velocity jitters each tick.
+        velocity = np.array([5.0, 0.0])
+        position = np.array([0.0, 0.0])
+        history = []
+        for _ in range(t_ticks):
+            velocity += rng.normal(0.0, 1.0, 2)
+            position = position + velocity * dt
+            history.append((position.copy(), velocity.copy()))
+        counts = []
+        for threshold in (1.0, 10.0, 50.0):
+            tracker = DeadReckoningTracker(0)
+            sent = 0
+            for tick, (pos, vel) in enumerate(history):
+                if tracker.observe(tick * dt, Point(*pos), Point(*vel), threshold):
+                    sent += 1
+            counts.append(sent)
+        assert counts[0] >= counts[1] >= counts[2]
+
+
+class TestDeadReckoningFleet:
+    def test_all_nodes_report_initially(self):
+        fleet = DeadReckoningFleet(5)
+        fleet.set_thresholds(10.0)
+        senders = fleet.observe(0.0, np.zeros((5, 2)), np.zeros((5, 2)))
+        assert sorted(senders) == [0, 1, 2, 3, 4]
+
+    def test_no_reports_when_static_within_threshold(self):
+        fleet = DeadReckoningFleet(3)
+        fleet.set_thresholds(10.0)
+        pos = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        fleet.observe(0.0, pos, np.zeros((3, 2)))
+        senders = fleet.observe(5.0, pos + 0.5, np.zeros((3, 2)))
+        assert senders.size == 0
+
+    def test_only_deviating_nodes_report(self):
+        fleet = DeadReckoningFleet(3)
+        fleet.set_thresholds(np.array([1.0, 1.0, 100.0]))
+        pos = np.zeros((3, 2))
+        fleet.observe(0.0, pos, np.zeros((3, 2)))
+        moved = pos.copy()
+        moved[:, 0] = 5.0  # everyone moves 5 m
+        senders = fleet.observe(1.0, moved, np.zeros((3, 2)))
+        assert sorted(senders) == [0, 1]  # node 2's threshold absorbs it
+
+    def test_matches_scalar_tracker(self, rng):
+        """Fleet and per-node tracker must implement the same protocol."""
+        n, ticks = 4, 30
+        thresholds = np.array([2.0, 5.0, 10.0, 20.0])
+        positions = np.cumsum(rng.normal(0, 3.0, (ticks, n, 2)), axis=0)
+        velocities = rng.normal(0, 1.0, (ticks, n, 2))
+        fleet = DeadReckoningFleet(n)
+        fleet.set_thresholds(thresholds)
+        trackers = [DeadReckoningTracker(i) for i in range(n)]
+        for tick in range(ticks):
+            t = tick * 1.0
+            fleet_senders = set(map(int, fleet.observe(t, positions[tick], velocities[tick])))
+            tracker_senders = set()
+            for i, tracker in enumerate(trackers):
+                report = tracker.observe(
+                    t,
+                    Point(*positions[tick, i]),
+                    Point(*velocities[tick, i]),
+                    thresholds[i],
+                )
+                if report is not None:
+                    tracker_senders.add(i)
+            assert fleet_senders == tracker_senders
+
+    def test_report_counting(self):
+        fleet = DeadReckoningFleet(2)
+        fleet.set_thresholds(1.0)
+        fleet.observe(0.0, np.zeros((2, 2)), np.zeros((2, 2)))
+        fleet.observe(1.0, np.full((2, 2), 50.0), np.zeros((2, 2)))
+        assert fleet.total_reports == 4
+
+    def test_rejects_negative_thresholds(self):
+        fleet = DeadReckoningFleet(2)
+        with pytest.raises(ValueError):
+            fleet.set_thresholds(np.array([1.0, -2.0]))
+
+    def test_rejects_bad_shapes(self):
+        fleet = DeadReckoningFleet(2)
+        with pytest.raises(ValueError):
+            fleet.observe(0.0, np.zeros((3, 2)), np.zeros((3, 2)))
+
+    def test_node_models_snapshot(self):
+        fleet = DeadReckoningFleet(2)
+        fleet.set_thresholds(1.0)
+        pos = np.array([[1.0, 2.0], [3.0, 4.0]])
+        vel = np.array([[0.1, 0.2], [0.3, 0.4]])
+        fleet.observe(7.0, pos, vel)
+        sent_pos, sent_vel, sent_time = fleet.node_models()
+        np.testing.assert_array_equal(sent_pos, pos)
+        np.testing.assert_array_equal(sent_vel, vel)
+        np.testing.assert_array_equal(sent_time, [7.0, 7.0])

@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderer and the CLI flags that use it."""
+
+import math
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.plotting import GLYPHS, render_ascii_chart
+from repro.experiments.__main__ import main as experiments_main
+
+
+def sample_result() -> ExperimentResult:
+    result = ExperimentResult("figX", "demo chart", "z", [0.25, 0.5, 0.75, 1.0])
+    result.add_series("rising", [1.0, 2.0, 3.0, 4.0])
+    result.add_series("falling", [4.0, 3.0, 2.0, 1.0])
+    return result
+
+
+class TestRenderAsciiChart:
+    def test_contains_legend_and_axis_labels(self):
+        chart = render_ascii_chart(sample_result())
+        assert "x: z" in chart
+        assert "rising" in chart and "falling" in chart
+        assert "0.25" in chart and "1" in chart
+
+    def test_dimensions(self):
+        chart = render_ascii_chart(sample_result(), width=40, height=10)
+        lines = chart.splitlines()
+        # title + height rows + axis + x labels + legend
+        assert len(lines) == 1 + 10 + 3
+        plot_rows = lines[1 : 1 + 10]
+        assert all(len(r.split("|", 1)[1]) <= 40 for r in plot_rows)
+
+    def test_extremes_placed_on_correct_rows(self):
+        result = ExperimentResult("f", "t", "x", [0.0, 1.0])
+        result.add_series("s", [0.0, 10.0])
+        chart = render_ascii_chart(result, width=20, height=6)
+        rows = chart.splitlines()[1:7]
+        assert GLYPHS[0] in rows[0]      # max lands on the top row
+        assert GLYPHS[0] in rows[-1]     # min lands on the bottom row
+
+    def test_log_scale_requires_positive(self):
+        result = ExperimentResult("f", "t", "x", [1.0, 2.0])
+        result.add_series("s", [0.0, 100.0])  # zero dropped under log
+        chart = render_ascii_chart(result, logy=True)
+        assert "[log y]" in chart
+
+    def test_non_finite_values_skipped(self):
+        result = ExperimentResult("f", "t", "x", [1.0, 2.0, 3.0])
+        result.add_series("s", [1.0, math.inf, float("nan")])
+        chart = render_ascii_chart(result)
+        assert "demo" not in chart  # sanity: rendered something
+
+    def test_all_bad_data(self):
+        result = ExperimentResult("f", "t", "x", [1.0])
+        result.add_series("s", [math.nan])
+        assert "no finite data" in render_ascii_chart(result)
+
+    def test_flat_series_does_not_crash(self):
+        result = ExperimentResult("f", "t", "x", [1.0, 2.0])
+        result.add_series("s", [5.0, 5.0])
+        render_ascii_chart(result)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(sample_result(), width=4)
+
+
+class TestCliFlags:
+    def test_plot_flag(self, capsys):
+        assert experiments_main(["table1", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "delta_i" in out
+        assert "+----" in out  # the chart's x-axis
+
+    def test_save_flag(self, capsys, tmp_path):
+        target = tmp_path / "results.csv"
+        assert experiments_main(["table1", "--save", str(target)]) == 0
+        saved = tmp_path / "results_table1.csv"
+        assert saved.exists()
+        assert "delta_i" in saved.read_text()

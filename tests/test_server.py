@@ -1,0 +1,258 @@
+"""Unit tests for the server substrate (queue, base stations, CQ server)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticReduction, LiraConfig, LiraLoadShedder, StatisticsGrid
+from repro.geo import Point, Rect
+from repro.queries import RangeQuery
+from repro.server import (
+    BYTES_PER_REGION,
+    UDP_PAYLOAD_BYTES,
+    BaseStation,
+    BoundedQueue,
+    MobileCQServer,
+    mean_broadcast_bytes,
+    mean_regions_per_station,
+    place_density_dependent_stations,
+    place_uniform_stations,
+)
+
+
+class TestBoundedQueue:
+    def test_fifo_order(self):
+        q = BoundedQueue(5)
+        for i in range(3):
+            q.offer(i)
+        assert q.poll() == 0
+        assert q.poll() == 1
+
+    def test_drops_when_full(self):
+        q = BoundedQueue(2)
+        assert q.offer("a") and q.offer("b")
+        assert not q.offer("c")
+        assert q.total_dropped == 1
+        assert len(q) == 2
+
+    def test_poll_empty_returns_none(self):
+        assert BoundedQueue(1).poll() is None
+
+    def test_poll_batch(self):
+        q = BoundedQueue(10)
+        for i in range(6):
+            q.offer(i)
+        assert q.poll_batch(4) == [0, 1, 2, 3]
+        assert len(q) == 2
+        assert q.poll_batch(10) == [4, 5]
+
+    def test_drop_rate(self):
+        q = BoundedQueue(1)
+        q.offer(1)
+        q.offer(2)
+        q.offer(3)
+        assert q.drop_rate() == pytest.approx(2 / 3)
+
+    def test_drop_rate_with_no_arrivals(self):
+        assert BoundedQueue(1).drop_rate() == 0.0
+
+    def test_reset_counters_keeps_items(self):
+        q = BoundedQueue(3)
+        q.offer(1)
+        q.reset_counters()
+        assert q.total_enqueued == 0
+        assert len(q) == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+        with pytest.raises(ValueError):
+            BoundedQueue(5).poll_batch(-1)
+
+
+class TestBaseStations:
+    def _plan(self, small_grid, reduction):
+        config = LiraConfig(l=16, alpha=16, z=0.5)
+        shedder = LiraLoadShedder(config, reduction)
+        return shedder.adapt(small_grid)
+
+    def test_covers(self):
+        station = BaseStation(0, Point(0.0, 0.0), 100.0)
+        assert station.covers(Point(50.0, 50.0))
+        assert not station.covers(Point(100.0, 100.0))
+
+    def test_uniform_placement_covers_bounds(self):
+        bounds = Rect(0.0, 0.0, 5000.0, 5000.0)
+        stations = place_uniform_stations(bounds, 1000.0)
+        # Every corner and the center must be covered by some station.
+        for p in [Point(0, 0), Point(5000, 0), Point(2500, 2500), Point(0, 5000)]:
+            assert any(s.covers(p) for s in stations)
+
+    def test_uniform_placement_smaller_radius_more_stations(self):
+        bounds = Rect(0.0, 0.0, 5000.0, 5000.0)
+        small = place_uniform_stations(bounds, 500.0)
+        large = place_uniform_stations(bounds, 2000.0)
+        assert len(small) > len(large)
+
+    def test_density_dependent_splits_dense_areas(self, rng):
+        bounds = Rect(0.0, 0.0, 8000.0, 8000.0)
+        dense = rng.uniform(0, 1000, size=(500, 2))
+        sparse = rng.uniform(0, 8000, size=(50, 2))
+        stations = place_density_dependent_stations(
+            bounds, np.vstack([dense, sparse]), nodes_per_station=50
+        )
+        radii_near_dense = [
+            s.radius for s in stations if s.center.norm() < 2500
+        ]
+        radii_far = [s.radius for s in stations if s.center.norm() > 6000]
+        assert min(radii_near_dense) < min(radii_far)
+
+    def test_regions_per_station_grows_with_radius(self, small_grid, reduction):
+        plan = self._plan(small_grid, reduction)
+        bounds = small_grid.bounds
+        small_r = place_uniform_stations(bounds, 300.0)
+        large_r = place_uniform_stations(bounds, 2000.0)
+        assert mean_regions_per_station(small_r, plan) < mean_regions_per_station(
+            large_r, plan
+        )
+
+    def test_broadcast_bytes_formula(self, small_grid, reduction):
+        plan = self._plan(small_grid, reduction)
+        stations = place_uniform_stations(small_grid.bounds, 1000.0)
+        regions = mean_regions_per_station(stations, plan)
+        assert mean_broadcast_bytes(stations, plan) == pytest.approx(
+            regions * BYTES_PER_REGION
+        )
+
+    def test_region_payload_is_16_bytes(self):
+        # 3 floats for the square region + 1 float for the throttler.
+        assert BYTES_PER_REGION == 16
+        assert UDP_PAYLOAD_BYTES == 1472
+
+    def test_empty_station_list_rejected(self, small_grid, reduction):
+        plan = self._plan(small_grid, reduction)
+        with pytest.raises(ValueError):
+            mean_regions_per_station([], plan)
+
+
+class TestMobileCQServer:
+    BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+    def _server(self, service_rate=10.0, capacity=5, n_nodes=4) -> MobileCQServer:
+        queries = [RangeQuery(0, Rect(0.0, 0.0, 50.0, 50.0))]
+        return MobileCQServer(
+            self.BOUNDS, n_nodes, queries, service_rate, queue_capacity=capacity
+        )
+
+    def test_receive_then_process_updates_table(self):
+        server = self._server()
+        ids = np.array([0, 1])
+        pos = np.array([[10.0, 10.0], [60.0, 60.0]])
+        vel = np.zeros((2, 2))
+        assert server.receive_reports(0.0, ids, pos, vel) == 2
+        server.process(1.0)
+        results = server.evaluate_queries(0.0)
+        assert sorted(results[0]) == [0]
+
+    def test_queue_overflow_drops(self):
+        server = self._server(capacity=2)
+        ids = np.arange(4)
+        pos = np.zeros((4, 2))
+        vel = np.zeros((4, 2))
+        admitted = server.receive_reports(0.0, ids, pos, vel)
+        assert admitted == 2
+        assert server.queue.total_dropped == 2
+
+    def test_service_rate_limits_throughput(self):
+        server = self._server(service_rate=2.0, capacity=10)
+        ids = np.arange(4)
+        server.receive_reports(0.0, ids, np.zeros((4, 2)), np.zeros((4, 2)))
+        assert server.process(1.0) == 2  # only 2 updates/sec
+        assert server.process(1.0) == 2
+
+    def test_fractional_service_credit_carries(self):
+        server = self._server(service_rate=0.5, capacity=10)
+        server.receive_reports(0.0, np.array([0]), np.zeros((1, 2)), np.zeros((1, 2)))
+        assert server.process(1.0) == 0  # 0.5 credit accumulated
+        assert server.process(1.0) == 1  # now 1.0
+
+    def test_unknown_nodes_not_in_results(self):
+        server = self._server()
+        # Only node 1 reports; node 0 must not appear anywhere.
+        server.receive_reports(
+            0.0, np.array([1]), np.array([[10.0, 10.0]]), np.zeros((1, 2))
+        )
+        server.process(1.0)
+        results = server.evaluate_queries(0.0)
+        assert 0 not in results[0]
+
+    def test_load_measurement(self):
+        server = self._server(service_rate=4.0, capacity=100)
+        server.receive_reports(0.0, np.arange(4), np.zeros((4, 2)), np.zeros((4, 2)))
+        server.process(1.0)
+        m = server.take_load_measurement()
+        assert m.arrivals == 4
+        assert m.processed == 4
+        assert m.period == 1.0
+        assert m.arrival_rate == pytest.approx(4.0)
+        assert m.utilization == pytest.approx(1.0)
+        # Counters reset after measurement.
+        assert server.take_load_measurement().arrivals == 0
+
+    def test_stats_grid_maintenance(self):
+        queries = [RangeQuery(0, Rect(0.0, 0.0, 50.0, 50.0))]
+        server = MobileCQServer(
+            self.BOUNDS, 2, queries, service_rate=10.0, stats_alpha=4
+        )
+        server.receive_reports(
+            0.0, np.array([0]), np.array([[10.0, 10.0]]), np.array([[3.0, 4.0]])
+        )
+        server.process(1.0)
+        server.stats_grid.roll()
+        assert server.stats_grid.total_nodes == pytest.approx(1.0)
+        assert server.stats_grid.mean_speed == pytest.approx(5.0)
+
+    def test_rejects_bad_service_rate(self):
+        with pytest.raises(ValueError):
+            MobileCQServer(self.BOUNDS, 1, [], service_rate=0.0)
+
+
+class TestIncrementalServerMode:
+    BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+    def _pair(self, n_nodes=6):
+        queries = [
+            RangeQuery(0, Rect(0.0, 0.0, 50.0, 50.0)),
+            RangeQuery(1, Rect(25.0, 25.0, 90.0, 90.0)),
+        ]
+        scan = MobileCQServer(self.BOUNDS, n_nodes, queries, service_rate=100.0)
+        inc = MobileCQServer(
+            self.BOUNDS, n_nodes, queries, service_rate=100.0, incremental=True
+        )
+        return scan, inc
+
+    def test_results_identical_to_scan_mode(self, rng):
+        scan, inc = self._pair()
+        for t in range(5):
+            ids = np.arange(6)
+            pos = rng.uniform(0, 100, size=(6, 2))
+            vel = rng.uniform(-5, 5, size=(6, 2))
+            for server in (scan, inc):
+                server.receive_reports(float(t), ids, pos, vel)
+                server.process(1.0)
+            t_eval = float(t) + 0.5
+            a = [sorted(r.tolist()) for r in scan.evaluate_queries(t_eval)]
+            b = [sorted(r.tolist()) for r in inc.evaluate_queries(t_eval)]
+            assert a == b
+
+    def test_engine_work_counted(self, rng):
+        _, inc = self._pair()
+        ids = np.arange(6)
+        pos = rng.uniform(0, 100, size=(6, 2))
+        inc.receive_reports(0.0, ids, pos, np.zeros((6, 2)))
+        inc.process(1.0)
+        inc.evaluate_queries(0.0)
+        assert inc.engine.stats.updates_processed > 0
+
+    def test_default_mode_has_no_engine(self):
+        scan, _ = self._pair()
+        assert scan.engine is None

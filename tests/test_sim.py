@@ -1,0 +1,172 @@
+"""Unit tests for the simulation harness and scenario builder."""
+
+import numpy as np
+import pytest
+
+from repro.core import LiraConfig
+from repro.queries import QueryDistribution
+from repro.shedding import LiraPolicy, RandomDropPolicy, UniformDeltaPolicy
+from repro.sim import (
+    Simulation,
+    SimulationConfig,
+    build_scenario,
+    make_policies,
+    reference_update_count,
+)
+
+
+class TestSimulationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(z=1.5)
+        with pytest.raises(ValueError):
+            SimulationConfig(adapt_every=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(warmup_ticks=-1)
+
+
+class TestSimulation:
+    def test_requires_queries(self, tiny_scenario):
+        policy = UniformDeltaPolicy(tiny_scenario.reduction)
+        with pytest.raises(ValueError):
+            Simulation(tiny_scenario.trace, [], policy)
+
+    def test_perfect_tracking_at_z_one(self, tiny_scenario):
+        """z = 1 with Uniform Delta means delta = delta_min everywhere;
+        containment error should be tiny (only within-threshold drift)."""
+        policy = UniformDeltaPolicy(tiny_scenario.reduction)
+        result = Simulation(
+            tiny_scenario.trace,
+            tiny_scenario.queries,
+            policy,
+            SimulationConfig(z=1.0, adapt_every=10),
+        ).run()
+        assert result.mean_position_error <= tiny_scenario.delta_min + 1e-9
+
+    def test_result_bookkeeping(self, tiny_scenario):
+        policy = UniformDeltaPolicy(tiny_scenario.reduction)
+        config = SimulationConfig(z=0.5, adapt_every=10, warmup_ticks=2)
+        result = Simulation(
+            tiny_scenario.trace, tiny_scenario.queries, policy, config
+        ).run()
+        assert result.policy_name == "Uniform Delta"
+        assert result.z == 0.5
+        assert result.ticks_measured == tiny_scenario.trace.num_ticks - 2
+        assert result.adaptations == int(np.ceil(tiny_scenario.trace.num_ticks / 10))
+        assert result.updates_sent == result.updates_per_tick.sum()
+        assert result.updates_admitted == result.updates_sent  # no dropping
+
+    def test_random_drop_admits_fraction(self, tiny_scenario):
+        policy = RandomDropPolicy(delta_min=tiny_scenario.delta_min)
+        result = Simulation(
+            tiny_scenario.trace,
+            tiny_scenario.queries,
+            policy,
+            SimulationConfig(z=0.5, adapt_every=10),
+        ).run()
+        fraction = result.updates_admitted / result.updates_sent
+        assert 0.4 < fraction < 0.6
+
+    def test_deterministic_given_seed(self, tiny_scenario):
+        def run():
+            policy = RandomDropPolicy(delta_min=tiny_scenario.delta_min)
+            return Simulation(
+                tiny_scenario.trace,
+                tiny_scenario.queries,
+                policy,
+                SimulationConfig(z=0.5, adapt_every=10, seed=11),
+            ).run()
+
+        a, b = run(), run()
+        assert a.mean_containment_error == b.mean_containment_error
+        assert a.updates_admitted == b.updates_admitted
+
+    def test_lower_z_higher_error(self, tiny_scenario):
+        """Less update budget must cost accuracy (monotonicity)."""
+        errors = []
+        for z in (0.9, 0.3):
+            policy = UniformDeltaPolicy(tiny_scenario.reduction)
+            result = Simulation(
+                tiny_scenario.trace,
+                tiny_scenario.queries,
+                policy,
+                SimulationConfig(z=z, adapt_every=10),
+            ).run()
+            errors.append(result.mean_position_error)
+        assert errors[0] < errors[1]
+
+    def test_lira_budget_adherence(self, tiny_scenario):
+        """LIRA's realized update volume must track z within tolerance."""
+        reference = reference_update_count(
+            tiny_scenario.trace, tiny_scenario.delta_min
+        )
+        config = LiraConfig(l=13, alpha=32, z=0.5)
+        policy = LiraPolicy(config, tiny_scenario.reduction)
+        result = Simulation(
+            tiny_scenario.trace,
+            tiny_scenario.queries,
+            policy,
+            SimulationConfig(z=0.5, adapt_every=10),
+        ).run()
+        ratio = result.updates_sent / reference
+        assert 0.3 < ratio < 0.75  # targeted 0.5 with modeling slack
+
+    def test_per_query_metrics_shape(self, tiny_scenario):
+        policy = UniformDeltaPolicy(tiny_scenario.reduction)
+        result = Simulation(
+            tiny_scenario.trace,
+            tiny_scenario.queries,
+            policy,
+            SimulationConfig(z=0.5, adapt_every=10),
+        ).run()
+        assert result.per_query_containment.shape == (len(tiny_scenario.queries),)
+        assert result.per_query_position.shape == (len(tiny_scenario.queries),)
+
+
+class TestReferenceUpdateCount:
+    def test_includes_initial_reports(self, tiny_scenario):
+        count = reference_update_count(tiny_scenario.trace, 5.0)
+        assert count >= tiny_scenario.trace.num_nodes
+
+    def test_monotone_in_threshold(self, tiny_scenario):
+        tight = reference_update_count(tiny_scenario.trace, 5.0)
+        loose = reference_update_count(tiny_scenario.trace, 50.0)
+        assert loose < tight
+
+
+class TestScenarioBuilder:
+    def test_caching_returns_same_object(self):
+        a = build_scenario(n_nodes=100, duration=100.0, side_meters=3000.0, seed=1)
+        b = build_scenario(n_nodes=100, duration=100.0, side_meters=3000.0, seed=1)
+        assert a is b
+
+    def test_workload_helper_mn_ratio(self, tiny_scenario):
+        queries = tiny_scenario.workload(mn_ratio=0.05)
+        assert len(queries) == int(round(0.05 * tiny_scenario.n_nodes))
+
+    def test_workload_helper_absolute(self, tiny_scenario):
+        queries = tiny_scenario.workload(
+            n_queries=7, distribution=QueryDistribution.RANDOM
+        )
+        assert len(queries) == 7
+
+    def test_workload_helper_validates_args(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            tiny_scenario.workload()
+        with pytest.raises(ValueError):
+            tiny_scenario.workload(mn_ratio=0.1, n_queries=5)
+
+    def test_make_policies_all(self, tiny_scenario):
+        config = LiraConfig(l=13, alpha=32)
+        policies = make_policies(tiny_scenario, config)
+        assert set(policies) == {"lira", "lira-grid", "uniform", "random-drop"}
+
+    def test_make_policies_unknown_rejected(self, tiny_scenario):
+        with pytest.raises(ValueError):
+            make_policies(tiny_scenario, LiraConfig(l=4, alpha=32), include=("nope",))
+
+    def test_unknown_reduction_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_scenario(
+                n_nodes=50, duration=50.0, side_meters=2000.0, reduction="magic"
+            )

@@ -1,0 +1,123 @@
+"""Tests for uncertainty-aware query evaluation (must/may semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.geo import Rect
+from repro.queries import (
+    RangeQuery,
+    evaluate_all_with_uncertainty,
+    evaluate_with_uncertainty,
+)
+
+QUERY = RangeQuery(0, Rect(100.0, 100.0, 200.0, 200.0))
+
+
+class TestSemantics:
+    def test_deep_inside_is_certain(self):
+        believed = np.array([[150.0, 150.0]])
+        result = evaluate_with_uncertainty(QUERY, believed, np.array([10.0]))
+        assert result.certain.tolist() == [0]
+        assert result.possible.tolist() == [0]
+
+    def test_near_edge_inside_is_possible_only(self):
+        believed = np.array([[105.0, 150.0]])  # 5 m from the x1 edge
+        result = evaluate_with_uncertainty(QUERY, believed, np.array([10.0]))
+        assert result.certain.size == 0
+        assert result.possible.tolist() == [0]
+        assert result.uncertain.tolist() == [0]
+
+    def test_near_edge_outside_is_possible(self):
+        believed = np.array([[95.0, 150.0]])  # 5 m outside
+        result = evaluate_with_uncertainty(QUERY, believed, np.array([10.0]))
+        assert result.certain.size == 0
+        assert result.possible.tolist() == [0]
+
+    def test_far_outside_is_neither(self):
+        believed = np.array([[50.0, 50.0]])
+        result = evaluate_with_uncertainty(QUERY, believed, np.array([10.0]))
+        assert result.certain.size == 0
+        assert result.possible.size == 0
+
+    def test_zero_threshold_collapses_to_exact(self):
+        believed = np.array([[150.0, 150.0], [95.0, 150.0], [100.0, 150.0]])
+        result = evaluate_with_uncertainty(QUERY, believed, np.zeros(3))
+        exact = QUERY.evaluate(believed)
+        assert set(result.certain.tolist()) <= set(exact.tolist())
+        assert set(exact.tolist()) <= set(result.possible.tolist())
+
+    def test_nan_positions_excluded(self):
+        believed = np.array([[np.nan, np.nan], [150.0, 150.0]])
+        result = evaluate_with_uncertainty(QUERY, believed, np.full(2, 5.0))
+        assert result.certain.tolist() == [1]
+        assert result.possible.tolist() == [1]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_with_uncertainty(
+                QUERY, np.array([[0.0, 0.0]]), np.array([-1.0])
+            )
+
+    def test_scalar_threshold_broadcasts(self):
+        believed = np.array([[150.0, 150.0], [151.0, 151.0]])
+        result = evaluate_with_uncertainty(QUERY, believed, 10.0)
+        assert result.certain.size == 2
+
+    def test_precision_floor(self):
+        believed = np.array([[150.0, 150.0], [102.0, 150.0]])
+        result = evaluate_with_uncertainty(QUERY, believed, np.array([10.0, 10.0]))
+        assert result.precision_floor == pytest.approx(0.5)
+        empty = evaluate_with_uncertainty(
+            QUERY, np.array([[0.0, 0.0]]), np.array([1.0])
+        )
+        assert empty.precision_floor == 1.0
+
+    def test_batch_form(self):
+        queries = [QUERY, RangeQuery(1, Rect(0, 0, 50, 50))]
+        believed = np.array([[150.0, 150.0], [25.0, 25.0]])
+        results = evaluate_all_with_uncertainty(queries, believed, 5.0)
+        assert results[0].certain.tolist() == [0]
+        assert results[1].certain.tolist() == [1]
+
+
+class TestSoundnessEndToEnd:
+    def test_certain_subset_true_subset_possible(self, tiny_scenario):
+        """The headline guarantee, driven by a real LIRA deployment:
+        with believed positions from dead reckoning under a LIRA plan
+        and thresholds from that plan, certain ⊆ true ⊆ possible at
+        every measured tick."""
+        from repro.core import LiraConfig
+        from repro.index import NodeTable
+        from repro.motion import DeadReckoningFleet
+        from repro.sim import make_policies
+
+        trace = tiny_scenario.trace
+        policy = make_policies(
+            tiny_scenario, LiraConfig(l=13, alpha=32), include=("lira",)
+        )["lira"]
+        fleet = DeadReckoningFleet(trace.num_nodes)
+        table = NodeTable(trace.num_nodes)
+        for tick in range(trace.num_ticks):
+            t = tick * trace.dt
+            positions = trace.positions[tick]
+            if tick % 10 == 0:
+                from repro.core import StatisticsGrid
+
+                grid = StatisticsGrid.from_snapshot(
+                    trace.bounds, 32, positions, trace.speeds(tick),
+                    tiny_scenario.queries,
+                )
+                policy.adapt(grid, 0.5)
+            thresholds = policy.thresholds_for(positions)
+            fleet.set_thresholds(thresholds)
+            senders = fleet.observe(t, positions, trace.velocities[tick])
+            table.ingest(t, senders, positions[senders], trace.velocities[tick][senders])
+
+            believed = table.predict(t)
+            for query in tiny_scenario.queries:
+                true_set = set(query.evaluate(positions).tolist())
+                result = evaluate_with_uncertainty(query, believed, thresholds)
+                certain = set(result.certain.tolist())
+                possible = set(result.possible.tolist())
+                assert certain <= true_set, f"tick {tick}: certain not sound"
+                assert true_set <= possible, f"tick {tick}: possible misses truth"
