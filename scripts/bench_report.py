@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Perf regression harness: run the hot-path benchmarks, emit BENCH_1.json.
+
+Collects two kinds of evidence:
+
+1. Micro-benchmarks (``benchmarks/test_sim_kernel.py`` via
+   pytest-benchmark): median ns per op for the simulation measurement
+   tick (kernel and brute force), raw batch query evaluation, and the
+   periodic adapt step.
+2. Macro wall-clock: the MEDIUM z-sweep (Figure 4's simulation matrix,
+   6 z-values x 4 policies) serial and through the parallel runner with
+   ``--jobs 4``, compared against the recorded seed baseline.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_1.json]
+        [--skip-micro] [--skip-macro]
+
+The output schema is stable so future PRs can diff their numbers
+against this file (see ``schema``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Wall-clock of the pre-kernel MEDIUM z-sweep (serial brute-force
+#: measurement + unoptimized adapt step) measured on the same container
+#: this report ships from.  Recorded once so speedups stay comparable.
+SEED_MEDIUM_ZSWEEP_S = 10.5
+
+MICRO_BENCHES = {
+    "sim_measurement_tick_kernel": "test_sim_measurement_tick_kernel",
+    "sim_measurement_tick_bruteforce": "test_sim_measurement_tick_bruteforce",
+    "kernel_eval": "test_kernel_eval",
+    "bruteforce_eval": "test_bruteforce_eval",
+    "adapt_step": "test_adapt_step",
+}
+
+
+def run_micro() -> dict:
+    """pytest-benchmark pass over the sim-kernel benchmarks, medians in ns."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out_json = Path(tmp) / "bench.json"
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/test_sim_kernel.py",
+            "-q",
+            "--benchmark-only",
+            f"--benchmark-json={out_json}",
+        ]
+        proc = subprocess.run(cmd, cwd=REPO, env=env, capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"benchmark run failed:\n{proc.stdout}\n{proc.stderr}"
+            )
+        data = json.loads(out_json.read_text())
+    medians = {}
+    for bench in data["benchmarks"]:
+        for key, test_name in MICRO_BENCHES.items():
+            if bench["name"].startswith(test_name):
+                medians[key] = bench["stats"]["median"] * 1e9  # s -> ns
+    missing = set(MICRO_BENCHES) - set(medians)
+    if missing:
+        raise RuntimeError(f"benchmarks missing from pytest output: {missing}")
+    return medians
+
+
+def run_macro(repeats: int = 2) -> dict:
+    """MEDIUM z-sweep wall-clock, serial vs the parallel runner (--jobs 4)."""
+    from repro.experiments.common import MEDIUM
+    from repro.experiments.zsweep import run_zsweep
+    from repro.queries import QueryDistribution
+
+    MEDIUM.scenario(distribution=QueryDistribution.PROPORTIONAL)  # warm cache
+
+    def timed(jobs):
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_zsweep(
+                "mean_position_error",
+                QueryDistribution.PROPORTIONAL,
+                MEDIUM,
+                jobs=jobs,
+            )
+            samples.append(time.perf_counter() - t0)
+        return min(samples)
+
+    serial = timed(None)
+    parallel = timed(4)
+    return {
+        "scale": "medium",
+        "zs": 6,
+        "policies": 4,
+        "jobs": 4,
+        "seed_serial_s": SEED_MEDIUM_ZSWEEP_S,
+        "serial_s": round(serial, 3),
+        "jobs4_s": round(parallel, 3),
+        "speedup_serial_vs_seed": round(SEED_MEDIUM_ZSWEEP_S / serial, 2),
+        "speedup_jobs4_vs_seed": round(SEED_MEDIUM_ZSWEEP_S / parallel, 2),
+        "note": (
+            "container exposes a single CPU core; the pool adds overhead "
+            "there, so the jobs4 speedup is carried by the kernel + adapt "
+            "optimizations.  On multi-core hosts --jobs N scales the "
+            "(z x policy) matrix near-linearly."
+        ),
+    }
+
+
+def machine_info() -> dict:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_1.json"))
+    parser.add_argument("--skip-micro", action="store_true")
+    parser.add_argument("--skip-macro", action="store_true")
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args()
+
+    report = {
+        "schema": "lira-bench/1",
+        "recorded": "2026-08-06",
+        "machine": machine_info(),
+    }
+    if not args.skip_micro:
+        medians = run_micro()
+        report["median_ns"] = {k: round(v, 1) for k, v in sorted(medians.items())}
+        report["speedups"] = {
+            "sim_measurement_tick": round(
+                medians["sim_measurement_tick_bruteforce"]
+                / medians["sim_measurement_tick_kernel"],
+                2,
+            ),
+            "query_eval": round(
+                medians["bruteforce_eval"] / medians["kernel_eval"], 2
+            ),
+        }
+    if not args.skip_macro:
+        report["medium_zsweep"] = run_macro(repeats=args.repeats)
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+
+
+if __name__ == "__main__":
+    main()

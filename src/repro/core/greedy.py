@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import heapq
 import math
-from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,25 +64,32 @@ class _MinMultiset:
     "sorted tree of update throttlers" used to track Δ⊳ = min Δⱼ.
     """
 
-    def __init__(self, values: np.ndarray) -> None:
+    def __init__(self, values) -> None:
         self._heap = list(map(float, values))
         heapq.heapify(self._heap)
-        self._live = Counter(self._heap)
+        live: dict[float, int] = {}
+        for v in self._heap:
+            live[v] = live.get(v, 0) + 1
+        self._live = live
 
     def update(self, old: float, new: float) -> None:
         old, new = float(old), float(new)
-        if self._live[old] <= 0:
+        live = self._live
+        count = live.get(old, 0)
+        if count <= 0:
             raise KeyError(f"value {old} not present")
-        self._live[old] -= 1
-        self._live[new] += 1
+        live[old] = count - 1
+        live[new] = live.get(new, 0) + 1
         heapq.heappush(self._heap, new)
 
     def min(self) -> float:
-        while self._heap and self._live[self._heap[0]] <= 0:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        live = self._live
+        while heap and live.get(heap[0], 0) <= 0:
+            heapq.heappop(heap)
+        if not heap:
             raise ValueError("multiset is empty")
-        return self._heap[0]
+        return heap[0]
 
 
 def greedy_increment(
@@ -133,20 +139,29 @@ def greedy_increment(
             budget_met=True,
         )
 
-    minima = _MinMultiset(deltas)
+    # The increment loop runs thousands of scalar reads per adapt step;
+    # plain-float lists sidestep numpy scalar-indexing overhead.  The
+    # arithmetic (and hence every threshold) is bit-identical.
+    w_l = weights.tolist()
+    m_l = m.tolist()
+    deltas_l = deltas.tolist()
+
+    minima = _MinMultiset(deltas_l)
     heap: list[tuple[float, int, int]] = []
     counter = 0
     blocked: dict[int, bool] = {}
 
-    def gain(i: int, delta: float) -> float:
-        rate = weights[i] * pw.r(delta)
+    r = pw.r
+
+    def gain(i: int, delta: float, w_l=w_l, m_l=m_l, r=r, min=min) -> float:
+        rate = w_l[i] * r(delta)
         # Subnormal query counts behave as zero: the gain is unbounded.
-        if m[i] > 1e-300:
-            return min(rate / m[i], 1e300)
+        if m_l[i] > 1e-300:
+            return min(rate / m_l[i], 1e300)
         return math.inf if rate > 0 else 0.0
 
     for i in range(l):
-        if weights[i] <= 0:
+        if w_l[i] <= 0:
             continue  # incrementing cannot reduce expenditure; keep Δ⊢
         heapq.heappush(heap, (-gain(i, d_min), counter, i))
         counter += 1
@@ -154,7 +169,7 @@ def greedy_increment(
     steps = 0
     while expenditure > budget + _EPS and heap:
         _, _, i = heapq.heappop(heap)
-        old = float(deltas[i])
+        old = deltas_l[i]
         current_min = minima.min()
         next_knot = d_min + seg * (math.floor((old - d_min) / seg + 1e-7) + 1)
         target = min(next_knot, d_max)
@@ -165,12 +180,12 @@ def greedy_increment(
             # Already at the fairness limit: park in the blocked list.
             blocked[i] = True
             continue
-        rate = weights[i] * pw.r(old)
+        rate = w_l[i] * r(old)
         if rate > 1e-300:
             step = min(step, (expenditure - budget) / rate)
         new = old + step
         expenditure -= rate * step
-        deltas[i] = new
+        deltas_l[i] = new
         minima.update(old, new)
         steps += 1
 
@@ -186,11 +201,12 @@ def greedy_increment(
         new_min = minima.min()
         if fairness is not None and new_min > current_min + _EPS and blocked:
             for j in list(blocked):
-                if deltas[j] < new_min + fairness - _EPS:
+                if deltas_l[j] < new_min + fairness - _EPS:
                     del blocked[j]
-                    heapq.heappush(heap, (-gain(j, float(deltas[j])), counter, j))
+                    heapq.heappush(heap, (-gain(j, deltas_l[j]), counter, j))
                     counter += 1
 
+    deltas = np.array(deltas_l, dtype=np.float64)
     return GreedyResult(
         thresholds=deltas,
         expenditure=expenditure,

@@ -58,19 +58,32 @@ class ReductionFunction(ABC):
         This solves the single-region throttler problem: minimizing
         ``m·Δ`` subject to the budget is achieved at the smallest
         feasible Δ because the objective is increasing in Δ.
+
+        Results are memoized per instance: GRIDREDUCE's CALCERRGAIN asks
+        for the same ``z`` once per explored hierarchy node, which made
+        this bisection the second-hottest call of the adapt step.
         """
+        cache: dict[float, float] = self.__dict__.setdefault(
+            "_delta_for_fraction_cache", {}
+        )
+        hit = cache.get(z)
+        if hit is not None:
+            return hit
         if z >= self.f(self.delta_min):
-            return self.delta_min
-        if self.f(self.delta_max) > z:
-            return self.delta_max
-        lo, hi = self.delta_min, self.delta_max
-        for _ in range(80):
-            mid = (lo + hi) / 2.0
-            if self.f(mid) <= z:
-                hi = mid
-            else:
-                lo = mid
-        return hi
+            result = self.delta_min
+        elif self.f(self.delta_max) > z:
+            result = self.delta_max
+        else:
+            lo, hi = self.delta_min, self.delta_max
+            for _ in range(80):
+                mid = (lo + hi) / 2.0
+                if self.f(mid) <= z:
+                    hi = mid
+                else:
+                    lo = mid
+            result = hi
+        cache[z] = result
+        return result
 
     def piecewise(self, n_segments: int) -> "PiecewiseLinearReduction":
         """Discretize into a κ-segment piecewise-linear approximation."""
@@ -103,29 +116,57 @@ class PiecewiseLinearReduction(ReductionFunction):
         self.knots = knots
         self.values = np.minimum.accumulate(values / values[0])
         self.segment_size = float(gaps[0])
+        # Scalar hot-path caches.  ``f``/``r`` are called ~10^5 times per
+        # adapt step from GREEDYINCREMENT's inner loop with scalar
+        # arguments; per-segment rates are constants, and plain-float
+        # lists avoid numpy scalar-indexing overhead.  Values are the
+        # exact same doubles the array expressions produce, so results
+        # are bit-identical.
+        self._rates = (
+            (self.values[:-1] - self.values[1:]) / self.segment_size
+        ).tolist()
+        self._knots_list = self.knots.tolist()
+        self._values_list = self.values.tolist()
+        self._n_segments = self.knots.size - 1
 
     @property
     def n_segments(self) -> int:
         """Number of linear segments κ."""
-        return self.knots.size - 1
+        return self._n_segments
 
     def _segment_index(self, delta: float) -> int:
         idx = int((delta - self.delta_min) / self.segment_size)
-        return min(max(idx, 0), self.n_segments - 1)
+        last = self._n_segments - 1
+        if idx < 0:
+            return 0
+        return idx if idx < last else last
 
     def f(self, delta: float) -> float:
-        delta = self._check_domain(delta)
+        lo, hi = self.delta_min, self.delta_max
+        if not (lo - 1e-9 <= delta <= hi + 1e-9):
+            raise ValueError(f"delta={delta} outside [{lo}, {hi}]")
+        if delta < lo:
+            delta = lo
+        elif delta > hi:
+            delta = hi
         i = self._segment_index(delta)
-        t = (delta - self.knots[i]) / self.segment_size
-        return float(self.values[i] + t * (self.values[i + 1] - self.values[i]))
+        values = self._values_list
+        t = (delta - self._knots_list[i]) / self.segment_size
+        return values[i] + t * (values[i + 1] - values[i])
 
     def r(self, delta: float) -> float:
-        delta = self._check_domain(delta)
-        if delta >= self.delta_max:
-            i = self.n_segments - 1
-        else:
-            i = self._segment_index(delta)
-        return float((self.values[i] - self.values[i + 1]) / self.segment_size)
+        lo, hi = self.delta_min, self.delta_max
+        if not (lo - 1e-9 <= delta <= hi + 1e-9):
+            raise ValueError(f"delta={delta} outside [{lo}, {hi}]")
+        if delta >= hi:
+            return self._rates[-1]
+        idx = int((delta - lo) / self.segment_size)
+        last = self._n_segments - 1
+        if idx < 0:
+            idx = 0
+        elif idx > last:
+            idx = last
+        return self._rates[idx]
 
 
 class AnalyticReduction(ReductionFunction):

@@ -141,19 +141,24 @@ class StatisticsGrid:
         i_hi = self._clamp_i((clipped.x2 - self.bounds.x1) / self._cell_w, ceil=True)
         j_lo = self._clamp_i((clipped.y1 - self.bounds.y1) / self._cell_h)
         j_hi = self._clamp_i((clipped.y2 - self.bounds.y1) / self._cell_h, ceil=True)
-        for i in range(i_lo, i_hi):
-            cell_x1 = self.bounds.x1 + i * self._cell_w
-            overlap_x = min(clipped.x2, cell_x1 + self._cell_w) - max(clipped.x1, cell_x1)
-            if overlap_x <= 0:
-                continue
-            for j in range(j_lo, j_hi):
-                cell_y1 = self.bounds.y1 + j * self._cell_h
-                overlap_y = min(clipped.y2, cell_y1 + self._cell_h) - max(
-                    clipped.y1, cell_y1
-                )
-                if overlap_y <= 0:
-                    continue
-                self.m[i, j] += weight * (overlap_x * overlap_y) / rect.area
+        # Separable overlap: per-row and per-column overlap vectors whose
+        # outer product is each cell's intersection area.  Element-wise
+        # arithmetic and operation order match the former per-cell loop,
+        # so accumulated fractions are bit-identical (cells with no
+        # overlap contribute exactly +0.0).
+        cell_x1 = self.bounds.x1 + np.arange(i_lo, i_hi, dtype=np.float64) * self._cell_w
+        overlap_x = np.minimum(clipped.x2, cell_x1 + self._cell_w) - np.maximum(
+            clipped.x1, cell_x1
+        )
+        cell_y1 = self.bounds.y1 + np.arange(j_lo, j_hi, dtype=np.float64) * self._cell_h
+        overlap_y = np.minimum(clipped.y2, cell_y1 + self._cell_h) - np.maximum(
+            clipped.y1, cell_y1
+        )
+        overlap_x = np.where(overlap_x > 0.0, overlap_x, 0.0)
+        overlap_y = np.where(overlap_y > 0.0, overlap_y, 0.0)
+        self.m[i_lo:i_hi, j_lo:j_hi] += (
+            weight * np.outer(overlap_x, overlap_y) / rect.area
+        )
 
     def _clamp_i(self, value: float, ceil: bool = False) -> int:
         """Clamp a fractional cell coordinate to a valid loop bound."""

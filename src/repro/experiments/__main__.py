@@ -55,11 +55,36 @@ def main(argv: list[str] | None = None) -> int:
         help="also save each result (extension picks csv/json/md/txt; "
         "the experiment id is appended to the stem)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="fan simulations of sweep experiments over N worker "
+        "processes (experiments without a jobs parameter run serially)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
+        print("zsweep-all")
+        return 0
+
+    if args.experiment == "zsweep-all":
+        # Figures 4-7 from one (z x policy x figure) fan-out; the shared
+        # proportional-distribution simulations run once, not twice.
+        from repro.experiments.zsweep import run_figs04_07
+
+        scale = SCALES[args.scale]
+        started = time.perf_counter()
+        results = run_figs04_07(scale=scale, jobs=args.jobs)
+        elapsed = time.perf_counter() - started
+        for name, result in results.items():
+            print(result.format_table())
+            print()
+        print(f"[zsweep-all completed in {elapsed:.1f}s at scale={scale.name}]")
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -71,14 +96,18 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         runner = EXPERIMENTS[name]
         started = time.perf_counter()
-        supports_scale = "scale" in inspect.signature(runner).parameters
+        parameters = inspect.signature(runner).parameters
+        supports_scale = "scale" in parameters
+        kwargs = {}
+        if args.jobs is not None and "jobs" in parameters:
+            kwargs["jobs"] = args.jobs
         if args.replicate and supports_scale:
             from repro.experiments.replication import replicate
 
             seeds = tuple(scale.seed + 10 * k for k in range(args.replicate))
             result = replicate(runner, scale, seeds=seeds)
         elif supports_scale:
-            result = runner(scale=scale)
+            result = runner(scale=scale, **kwargs)
         else:
             result = runner()
         elapsed = time.perf_counter() - started

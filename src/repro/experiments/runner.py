@@ -1,0 +1,201 @@
+"""Parallel sweep engine: fan (z x policy x figure) simulations over cores.
+
+The z-sweeps behind Figures 4-7 (and every other policy-suite figure)
+are embarrassingly parallel: each (z, policy) pair is an independent
+:class:`~repro.sim.Simulation` run over a shared scenario.  This module
+executes such job sets on a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Scenarios are *not* pickled across the pool — a worker receives a
+:class:`ScenarioSpec` (the hashable argument bundle of
+:func:`~repro.sim.build_scenario`) and rebuilds the scenario through the
+``lru_cache`` behind ``build_scenario``.  That makes the handle safe
+under both ``fork`` (cache pages are shared copy-on-write) and ``spawn``
+(each worker rebuilds once, then hits its process-local cache); the
+optional pool initializer pre-warms every distinct spec so job latency
+is simulation time, not scene construction.
+
+Determinism: a job carries its own simulation seed, and each
+``Simulation.run`` creates a fresh ``np.random.default_rng(seed)``, so
+results are bit-identical to running the same jobs serially in any
+order.  ``run_jobs(..., n_workers=1)`` short-circuits the pool entirely
+and is the reference execution the equivalence tests compare against.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.core import LiraConfig
+from repro.experiments.common import ExperimentScale
+from repro.queries import QueryDistribution
+from repro.sim import Scenario, Simulation, SimulationConfig, build_scenario, make_policies
+from repro.sim.simulation import SimulationResult
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not specify one: all cores."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Hashable, picklable recipe for :func:`~repro.sim.build_scenario`.
+
+    Workers rebuild (or cache-hit) the scenario from this spec instead of
+    unpickling multi-megabyte trace arrays per job.
+    """
+
+    n_nodes: int = 2000
+    mn_ratio: float = 0.01
+    side_length: float = 1000.0
+    distribution: str = QueryDistribution.PROPORTIONAL.value
+    duration: float = 1200.0
+    dt: float = 10.0
+    seed: int = 7
+    side_meters: float = 14_000.0
+    collector_spacing: float = 700.0
+    delta_min: float = 5.0
+    delta_max: float = 100.0
+    reduction: str = "empirical"
+    reduction_samples: int = 12
+
+    @classmethod
+    def from_scale(
+        cls,
+        scale: ExperimentScale,
+        distribution: QueryDistribution = QueryDistribution.PROPORTIONAL,
+        mn_ratio: float = 0.01,
+        side_length: float = 1000.0,
+    ) -> "ScenarioSpec":
+        """The spec matching ``scale.scenario(...)`` — same cache key."""
+        return cls(
+            n_nodes=scale.n_nodes,
+            mn_ratio=mn_ratio,
+            side_length=side_length,
+            distribution=distribution.value,
+            duration=scale.duration,
+            dt=scale.dt,
+            seed=scale.seed,
+            side_meters=scale.side_meters,
+            collector_spacing=scale.collector_spacing,
+            reduction_samples=scale.reduction_samples,
+        )
+
+    def build(self) -> Scenario:
+        """Build (or fetch from the per-process cache) the scenario."""
+        return build_scenario(
+            n_nodes=self.n_nodes,
+            mn_ratio=self.mn_ratio,
+            side_length=self.side_length,
+            distribution=QueryDistribution(self.distribution),
+            duration=self.duration,
+            dt=self.dt,
+            seed=self.seed,
+            side_meters=self.side_meters,
+            collector_spacing=self.collector_spacing,
+            delta_min=self.delta_min,
+            delta_max=self.delta_max,
+            reduction=self.reduction,
+            reduction_samples=self.reduction_samples,
+        )
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One (scenario, policy, z) simulation, fully described by value.
+
+    ``tag`` is caller metadata (e.g. the figure id) threaded through to
+    the results; it does not influence execution.
+    """
+
+    spec: ScenarioSpec
+    policy: str
+    z: float
+    adapt_every: int
+    seed: int
+    config: LiraConfig
+    tag: str = ""
+
+
+def run_job(job: SimJob) -> SimulationResult:
+    """Execute one job in the current process."""
+    scenario = job.spec.build()
+    policy = make_policies(scenario, job.config, include=(job.policy,))[job.policy]
+    sim_config = SimulationConfig(z=job.z, adapt_every=job.adapt_every, seed=job.seed)
+    return Simulation(scenario.trace, scenario.queries, policy, sim_config).run()
+
+
+def _warm_worker(specs: tuple[ScenarioSpec, ...]) -> None:
+    """Pool initializer: populate the per-process scenario cache."""
+    for spec in specs:
+        spec.build()
+
+
+def run_jobs(
+    jobs: list[SimJob], n_workers: int | None = None
+) -> list[SimulationResult]:
+    """Run jobs, results in job order; ``n_workers <= 1`` stays in-process."""
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if n_workers is None:
+        n_workers = default_jobs()
+    n_workers = max(1, min(n_workers, len(jobs)))
+    if n_workers == 1:
+        return [run_job(job) for job in jobs]
+    specs = tuple(dict.fromkeys(job.spec for job in jobs))
+    with ProcessPoolExecutor(
+        max_workers=n_workers, initializer=_warm_worker, initargs=(specs,)
+    ) as pool:
+        return list(pool.map(run_job, jobs))
+
+
+def suite_jobs(
+    scale: ExperimentScale,
+    zs: tuple[float, ...],
+    include: tuple[str, ...],
+    distribution: QueryDistribution = QueryDistribution.PROPORTIONAL,
+    config: LiraConfig | None = None,
+    tag: str = "",
+) -> list[SimJob]:
+    """The (z x policy) job matrix of one policy-suite sweep.
+
+    Seeds and adaptation cadence mirror
+    :func:`~repro.experiments.common.run_policy_suite`, so executing
+    these jobs — serially or on the pool — reproduces its numbers
+    exactly.
+    """
+    spec = ScenarioSpec.from_scale(scale, distribution=distribution)
+    cfg = config if config is not None else scale.lira_config()
+    return [
+        SimJob(
+            spec=spec,
+            policy=policy,
+            z=z,
+            adapt_every=scale.adapt_every,
+            seed=scale.seed,
+            config=cfg,
+            tag=tag,
+        )
+        for z in zs
+        for policy in include
+    ]
+
+
+def run_policy_sweep(
+    scale: ExperimentScale,
+    zs: tuple[float, ...],
+    include: tuple[str, ...],
+    distribution: QueryDistribution = QueryDistribution.PROPORTIONAL,
+    config: LiraConfig | None = None,
+    n_workers: int | None = None,
+) -> dict[float, dict[str, SimulationResult]]:
+    """Sweep (z x policy) and return ``results[z][policy]``."""
+    jobs = suite_jobs(scale, zs, include, distribution=distribution, config=config)
+    results = run_jobs(jobs, n_workers=n_workers)
+    out: dict[float, dict[str, SimulationResult]] = {z: {} for z in zs}
+    for job, result in zip(jobs, results):
+        out[job.z][job.policy] = result
+    return out

@@ -10,6 +10,13 @@ left axis) and absolute (right axis).  Expected shape: LIRA best at
 every z; relative gaps explode as z → 1 (LIRA sheds from query-free
 regions at nearly zero error) and collapse to 1 as z approaches the
 point where all threshold policies converge to ∀Δᵢ = Δ⊣.
+
+Every sweep accepts ``jobs``: with ``jobs > 1`` the (z x policy) matrix
+fans out over a process pool via :mod:`repro.experiments.runner`, with
+numbers bit-identical to the serial path (same scenario cache keys, same
+per-job seeds).  :func:`run_figs04_07` additionally fans the *figure*
+dimension, deduplicating the shared proportional-distribution runs of
+Figures 4 and 5.
 """
 
 from __future__ import annotations
@@ -21,29 +28,33 @@ from repro.experiments.common import (
     relative_to,
     run_policy_suite,
 )
+from repro.experiments.runner import run_jobs, run_policy_sweep, suite_jobs
 from repro.queries import QueryDistribution
+from repro.sim.simulation import SimulationResult
 
 DEFAULT_ZS = (0.3, 0.4, 0.5, 0.6, 0.75, 0.9)
 POLICY_ORDER = ("lira", "lira-grid", "uniform", "random-drop")
 
+#: The four z-sweep figures as (figure id, metric, query distribution).
+ZSWEEP_FIGURES = (
+    ("fig04", "mean_position_error", QueryDistribution.PROPORTIONAL),
+    ("fig05", "mean_containment_error", QueryDistribution.PROPORTIONAL),
+    ("fig06", "mean_containment_error", QueryDistribution.INVERSE),
+    ("fig07", "mean_containment_error", QueryDistribution.RANDOM),
+)
 
-def run_zsweep(
+
+def _format_zsweep(
     metric: str,
     distribution: QueryDistribution,
-    scale: ExperimentScale = MEDIUM,
-    zs: tuple[float, ...] = DEFAULT_ZS,
+    zs: tuple[float, ...],
+    results_by_z: dict[float, dict[str, SimulationResult]],
 ) -> ExperimentResult:
-    """Sweep z for all four policies; report absolute + relative ``metric``.
-
-    ``metric`` is a :class:`~repro.sim.SimulationResult` attribute:
-    ``mean_position_error`` or ``mean_containment_error``.
-    """
-    scenario = scale.scenario(distribution=distribution)
-    config = scale.lira_config()
+    """Assemble the absolute + relative series tables from suite results."""
     absolute: dict[str, list[float]] = {name: [] for name in POLICY_ORDER}
     relative: dict[str, list[float]] = {name: [] for name in POLICY_ORDER}
     for z in zs:
-        results = run_policy_suite(scenario, config, z, scale)
+        results = results_by_z[z]
         rel = relative_to(results, metric)
         for name in POLICY_ORDER:
             absolute[name].append(getattr(results[name], metric))
@@ -64,37 +75,105 @@ def run_zsweep(
     return result
 
 
-def run_fig04(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+def run_zsweep(
+    metric: str,
+    distribution: QueryDistribution,
+    scale: ExperimentScale = MEDIUM,
+    zs: tuple[float, ...] = DEFAULT_ZS,
+    jobs: int | None = None,
+) -> ExperimentResult:
+    """Sweep z for all four policies; report absolute + relative ``metric``.
+
+    ``metric`` is a :class:`~repro.sim.SimulationResult` attribute:
+    ``mean_position_error`` or ``mean_containment_error``.  ``jobs``
+    selects parallel fan-out (``None`` or 1 runs serially in-process).
+    """
+    if jobs is not None and jobs > 1:
+        results_by_z = run_policy_sweep(
+            scale, zs, POLICY_ORDER, distribution=distribution, n_workers=jobs
+        )
+    else:
+        scenario = scale.scenario(distribution=distribution)
+        config = scale.lira_config()
+        results_by_z = {
+            z: run_policy_suite(scenario, config, z, scale) for z in zs
+        }
+    return _format_zsweep(metric, distribution, zs, results_by_z)
+
+
+def run_figs04_07(
+    scale: ExperimentScale = MEDIUM,
+    zs: tuple[float, ...] = DEFAULT_ZS,
+    jobs: int | None = None,
+) -> dict[str, ExperimentResult]:
+    """All four z-sweep figures from one (z x policy x figure) job fan-out.
+
+    Figures 4 and 5 share the proportional-distribution simulations, so
+    the fan-out runs each (distribution, z, policy) combination exactly
+    once — 3 distributions x len(zs) x 4 policies jobs — and derives both
+    metrics from the shared results.
+    """
+    distributions = sorted(
+        {dist for _, _, dist in ZSWEEP_FIGURES}, key=lambda d: d.value
+    )
+    all_jobs = []
+    for dist in distributions:
+        all_jobs.extend(
+            suite_jobs(scale, zs, POLICY_ORDER, distribution=dist, tag=dist.value)
+        )
+    results = run_jobs(all_jobs, n_workers=jobs)
+    sweeps: dict[QueryDistribution, dict[float, dict[str, SimulationResult]]] = {
+        dist: {z: {} for z in zs} for dist in distributions
+    }
+    for job, result in zip(all_jobs, results):
+        sweeps[QueryDistribution(job.tag)][job.z][job.policy] = result
+    out = {}
+    for fig_id, metric, dist in ZSWEEP_FIGURES:
+        result = _format_zsweep(metric, dist, zs, sweeps[dist])
+        result.experiment_id = fig_id
+        out[fig_id] = result
+    return out
+
+
+def run_fig04(
+    scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS, jobs: int | None = None
+) -> ExperimentResult:
     """Figure 4: position error vs z, proportional distribution."""
     result = run_zsweep(
-        "mean_position_error", QueryDistribution.PROPORTIONAL, scale, zs
+        "mean_position_error", QueryDistribution.PROPORTIONAL, scale, zs, jobs=jobs
     )
     result.experiment_id = "fig04"
     return result
 
 
-def run_fig05(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+def run_fig05(
+    scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS, jobs: int | None = None
+) -> ExperimentResult:
     """Figure 5: containment error vs z, proportional distribution."""
     result = run_zsweep(
-        "mean_containment_error", QueryDistribution.PROPORTIONAL, scale, zs
+        "mean_containment_error", QueryDistribution.PROPORTIONAL, scale, zs, jobs=jobs
     )
     result.experiment_id = "fig05"
     return result
 
 
-def run_fig06(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+def run_fig06(
+    scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS, jobs: int | None = None
+) -> ExperimentResult:
     """Figure 6: containment error vs z, inverse distribution."""
     result = run_zsweep(
-        "mean_containment_error", QueryDistribution.INVERSE, scale, zs
+        "mean_containment_error", QueryDistribution.INVERSE, scale, zs, jobs=jobs
     )
     result.experiment_id = "fig06"
     return result
 
 
-def run_fig07(scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS) -> ExperimentResult:
+def run_fig07(
+    scale: ExperimentScale = MEDIUM, zs=DEFAULT_ZS, jobs: int | None = None
+) -> ExperimentResult:
     """Figure 7: containment error vs z, random distribution."""
     result = run_zsweep(
-        "mean_containment_error", QueryDistribution.RANDOM, scale, zs
+        "mean_containment_error", QueryDistribution.RANDOM, scale, zs, jobs=jobs
     )
     result.experiment_id = "fig07"
     return result

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geo import Rect
+from repro.queries import QueryEvalKernel, RangeQuery
 
 
 class GridIndex:
@@ -85,6 +86,31 @@ class GridIndex:
                     if rect.contains_xy(x, y):
                         result.append(point_id)
         return result
+
+    def query_batch(self, queries: list[RangeQuery]) -> list[np.ndarray]:
+        """Evaluate a whole query workload in one vectorized pass.
+
+        Returns one sorted point-id array per query, in query order.
+        Containment semantics are exactly those of :meth:`query` — both
+        delegate to the half-open convention of :class:`~repro.geo.Rect`,
+        with the batch path going through
+        :class:`~repro.queries.QueryEvalKernel` so the server-side index
+        and the simulation's measurement loop share one implementation.
+        """
+        if not self._positions:
+            return [np.empty(0, dtype=np.int64) for _ in queries]
+        ids = np.fromiter(
+            self._positions.keys(), dtype=np.int64, count=len(self._positions)
+        )
+        coords = np.array(
+            [self._positions[int(i)] for i in ids], dtype=np.float64
+        )
+        kernel = QueryEvalKernel(
+            queries, bounds=self.bounds, cells_per_side=self.cells_per_side
+        )
+        order = np.argsort(ids, kind="stable")
+        ids, coords = ids[order], coords[order]
+        return [ids[np.flatnonzero(row)] for row in kernel.containment(coords)]
 
     def cell_counts(self) -> np.ndarray:
         """Point counts per cell, shape ``(cells, cells)`` indexed [cx, cy].

@@ -1,5 +1,6 @@
 """Continual-query workload substrate (range CQs, spatial distributions)."""
 
+from repro.queries.batch import BatchMeasurement, QueryEvalKernel, stack_bounds
 from repro.queries.io import load_workload, save_workload
 from repro.queries.range_query import RangeQuery, evaluate_queries
 from repro.queries.uncertain import (
@@ -10,10 +11,13 @@ from repro.queries.uncertain import (
 from repro.queries.workload import QueryDistribution, generate_workload
 
 __all__ = [
+    "BatchMeasurement",
     "QueryDistribution",
+    "QueryEvalKernel",
     "RangeQuery",
     "UncertainResult",
     "evaluate_queries",
+    "stack_bounds",
     "evaluate_all_with_uncertainty",
     "evaluate_with_uncertainty",
     "generate_workload",

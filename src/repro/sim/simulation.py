@@ -20,7 +20,7 @@ from repro.core.statistics_grid import StatisticsGrid
 from repro.index import NodeTable
 from repro.metrics.accuracy import FairnessStats, fairness_stats
 from repro.motion import DeadReckoningFleet
-from repro.queries import RangeQuery
+from repro.queries import QueryEvalKernel, RangeQuery
 from repro.shedding import SheddingPolicy
 from repro.trace import Trace
 
@@ -63,7 +63,14 @@ class SimulationResult:
 
 
 class Simulation:
-    """Runs one (trace, workload, policy) combination to completion."""
+    """Runs one (trace, workload, policy) combination to completion.
+
+    ``use_kernel`` selects the measurement implementation: the vectorized
+    :class:`~repro.queries.QueryEvalKernel` (default) or the brute-force
+    per-query loop over :meth:`RangeQuery.evaluate`.  Both produce
+    bit-identical results; the brute-force path exists as the reference
+    the equivalence tests check the kernel against.
+    """
 
     def __init__(
         self,
@@ -71,6 +78,8 @@ class Simulation:
         queries: list[RangeQuery],
         policy: SheddingPolicy,
         config: SimulationConfig | None = None,
+        *,
+        use_kernel: bool = True,
     ) -> None:
         if not queries:
             raise ValueError("at least one query is required")
@@ -78,6 +87,7 @@ class Simulation:
         self.queries = queries
         self.policy = policy
         self.config = config or SimulationConfig()
+        self.use_kernel = use_kernel
 
     def run(self) -> SimulationResult:
         """Execute the closed loop over the whole trace."""
@@ -92,6 +102,13 @@ class Simulation:
         cont_cnt = np.zeros(n_q)
         pos_sum = np.zeros(n_q)
         pos_cnt = np.zeros(n_q)
+        kernel = (
+            QueryEvalKernel(
+                queries, bounds=trace.bounds, cells_per_side=max(policy.alpha, 16)
+            )
+            if self.use_kernel
+            else None
+        )
         updates_per_tick = np.zeros(t_total, dtype=np.int64)
         admitted_total = 0
         adaptations = 0
@@ -131,22 +148,36 @@ class Simulation:
                 continue
             ticks_measured += 1
             believed = table.predict(t)
-            # Unknown nodes cannot appear in any result rectangle.
-            believed_eval = np.where(np.isnan(believed), np.inf, believed)
-            for qi, query in enumerate(queries):
-                true_set = query.evaluate(positions)
-                shed_set = query.evaluate(believed_eval)
-                if true_set.size:
-                    missing = np.setdiff1d(true_set, shed_set, assume_unique=True).size
-                    extra = np.setdiff1d(shed_set, true_set, assume_unique=True).size
-                    cont_sum[qi] += (missing + extra) / true_set.size
-                    cont_cnt[qi] += 1
-                if shed_set.size:
-                    distances = np.linalg.norm(
-                        believed[shed_set] - positions[shed_set], axis=1
-                    )
-                    pos_sum[qi] += float(distances.mean())
-                    pos_cnt[qi] += 1
+            if kernel is not None:
+                m = kernel.measure(positions, believed)
+                cont_sum += np.where(m.has_true, m.containment_error, 0.0)
+                cont_cnt += m.has_true
+                pos_sum += np.where(m.has_believed, m.position_error, 0.0)
+                pos_cnt += m.has_believed
+            else:
+                # Brute-force reference: one evaluate + two setdiff1d per
+                # query per tick.  Kept verbatim so equivalence tests can
+                # prove the kernel path produces identical numbers.
+                # Unknown nodes cannot appear in any result rectangle.
+                believed_eval = np.where(np.isnan(believed), np.inf, believed)
+                for qi, query in enumerate(queries):
+                    true_set = query.evaluate(positions)
+                    shed_set = query.evaluate(believed_eval)
+                    if true_set.size:
+                        missing = np.setdiff1d(
+                            true_set, shed_set, assume_unique=True
+                        ).size
+                        extra = np.setdiff1d(
+                            shed_set, true_set, assume_unique=True
+                        ).size
+                        cont_sum[qi] += (missing + extra) / true_set.size
+                        cont_cnt[qi] += 1
+                    if shed_set.size:
+                        distances = np.linalg.norm(
+                            believed[shed_set] - positions[shed_set], axis=1
+                        )
+                        pos_sum[qi] += float(distances.mean())
+                        pos_cnt[qi] += 1
 
         with np.errstate(invalid="ignore", divide="ignore"):
             per_query_cont = np.where(cont_cnt > 0, cont_sum / np.maximum(cont_cnt, 1), np.nan)
@@ -176,9 +207,24 @@ def reference_update_count(trace: Trace, delta_min: float) -> int:
 
     The denominator of budget-adherence checks: a policy with throttle
     fraction z should admit at most ~z times this count.
+
+    Computing it re-simulates the whole fleet, so results are memoized on
+    the trace object keyed by ``delta_min`` — callers that normalize many
+    experiment runs against the same trace (every budget figure) pay the
+    fleet sweep once.  The cache lives and dies with the trace instance,
+    so a trace mutated in place should not be reused with this helper.
     """
-    fleet = DeadReckoningFleet(trace.num_nodes)
-    fleet.set_thresholds(delta_min)
-    for tick in range(trace.num_ticks):
-        fleet.observe(tick * trace.dt, trace.positions[tick], trace.velocities[tick])
-    return int(fleet.total_reports)
+    cache: dict[float, int] | None = getattr(trace, "_reference_update_cache", None)
+    if cache is None:
+        cache = {}
+        trace._reference_update_cache = cache
+    key = float(delta_min)
+    if key not in cache:
+        fleet = DeadReckoningFleet(trace.num_nodes)
+        fleet.set_thresholds(key)
+        for tick in range(trace.num_ticks):
+            fleet.observe(
+                tick * trace.dt, trace.positions[tick], trace.velocities[tick]
+            )
+        cache[key] = int(fleet.total_reports)
+    return cache[key]

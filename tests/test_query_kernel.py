@@ -1,0 +1,167 @@
+"""Property-style tests: QueryEvalKernel == RangeQuery.evaluate, always.
+
+Random snapshots and workloads, plus the adversarial corners: empty
+(zero-area) queries, nodes exactly on rectangle edges, NaN/inf believed
+positions, out-of-bounds nodes, and degenerate bucket resolutions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geo import Rect
+from repro.index import GridIndex
+from repro.queries import (
+    QueryEvalKernel,
+    RangeQuery,
+    evaluate_queries,
+    stack_bounds,
+)
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def random_workload(rng, n_queries, allow_empty=True):
+    queries = []
+    for i in range(n_queries):
+        x1, y1 = rng.uniform(-100.0, 1000.0, 2)
+        w, h = rng.uniform(0.0, 400.0, 2)
+        if allow_empty and i % 7 == 0:
+            w = 0.0  # zero-width: can never contain anything
+        queries.append(RangeQuery(i, Rect(x1, y1, x1 + w, y1 + h)))
+    return queries
+
+
+def random_positions(rng, n):
+    positions = rng.uniform(-200.0, 1200.0, (n, 2))
+    if n >= 8:
+        positions[0] = (np.nan, np.nan)
+        positions[1] = (np.nan, 500.0)
+        positions[2] = (np.inf, 500.0)
+        positions[3] = (-np.inf, 500.0)
+    return positions
+
+
+def assert_same_results(expected, actual):
+    assert len(expected) == len(actual)
+    for e, a in zip(expected, actual):
+        np.testing.assert_array_equal(e, a)
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("cells", [1, 4, 64])
+    def test_random_snapshots_match_bruteforce(self, seed, cells):
+        rng = np.random.default_rng(seed)
+        queries = random_workload(rng, 30)
+        positions = random_positions(rng, 300)
+        kernel = QueryEvalKernel(queries, bounds=BOUNDS, cells_per_side=cells)
+        reference = evaluate_queries(queries, positions)
+        assert_same_results(reference, kernel.evaluate(positions, prune=False))
+        assert_same_results(reference, kernel.evaluate(positions, prune=True))
+
+    def test_no_bounds_dense_only(self, rng):
+        queries = random_workload(rng, 12)
+        positions = random_positions(rng, 100)
+        kernel = QueryEvalKernel(queries)
+        assert_same_results(
+            evaluate_queries(queries, positions), kernel.evaluate(positions)
+        )
+        with pytest.raises(ValueError):
+            kernel.containment(positions, prune=True)
+
+    def test_nodes_exactly_on_edges(self):
+        rect = Rect(10.0, 10.0, 20.0, 20.0)
+        queries = [RangeQuery(0, rect)]
+        positions = np.array(
+            [
+                [10.0, 10.0],  # min corner: inside (closed low edge)
+                [20.0, 20.0],  # max corner: outside (open high edge)
+                [10.0, 20.0],
+                [20.0, 10.0],
+                [15.0, 10.0],  # on low y edge: inside
+                [15.0, 20.0],  # on high y edge: outside
+                [np.nextafter(20.0, 0.0), np.nextafter(20.0, 0.0)],
+            ]
+        )
+        for prune in (False, True):
+            kernel = QueryEvalKernel(queries, bounds=BOUNDS, cells_per_side=16)
+            result = kernel.evaluate(positions, prune=prune)[0]
+            np.testing.assert_array_equal(result, [0, 4, 6])
+            assert_same_results(evaluate_queries(queries, positions), [result])
+
+    def test_empty_query_and_empty_snapshot(self):
+        queries = [RangeQuery(0, Rect(5.0, 5.0, 5.0, 9.0))]
+        kernel = QueryEvalKernel(queries, bounds=BOUNDS, cells_per_side=8)
+        assert kernel.evaluate(np.array([[5.0, 6.0]]))[0].size == 0
+        empty = kernel.evaluate(np.empty((0, 2)))
+        assert len(empty) == 1 and empty[0].size == 0
+        assert kernel.containment(np.empty((0, 2)), prune=True).shape == (1, 0)
+
+    def test_nan_inf_believed_positions_in_measure(self, rng):
+        queries = random_workload(rng, 20, allow_empty=False)
+        positions = rng.uniform(0.0, 1000.0, (200, 2))
+        believed = positions + rng.normal(0.0, 30.0, positions.shape)
+        believed[:40] = np.nan  # never-reported nodes
+        kernel = QueryEvalKernel(queries, bounds=BOUNDS, cells_per_side=32)
+        m = kernel.measure(positions, believed)
+        believed_eval = np.where(np.isnan(believed), np.inf, believed)
+        for qi, query in enumerate(queries):
+            true_set = query.evaluate(positions)
+            shed_set = query.evaluate(believed_eval)
+            assert not np.isin(np.arange(40), shed_set).any()
+            if true_set.size:
+                missing = np.setdiff1d(true_set, shed_set, assume_unique=True).size
+                extra = np.setdiff1d(shed_set, true_set, assume_unique=True).size
+                assert m.containment_error[qi] == (missing + extra) / true_set.size
+            else:
+                assert not m.has_true[qi]
+            if shed_set.size:
+                expected = float(
+                    np.linalg.norm(
+                        believed[shed_set] - positions[shed_set], axis=1
+                    ).mean()
+                )
+                assert m.position_error[qi] == expected  # bitwise
+            else:
+                assert not m.has_believed[qi]
+
+    def test_stack_bounds_layout(self):
+        queries = [RangeQuery(0, Rect(1.0, 2.0, 3.0, 4.0))]
+        np.testing.assert_array_equal(stack_bounds(queries), [[1.0, 2.0, 3.0, 4.0]])
+
+    def test_bucket_superset_covers_all_contained_pairs(self, rng):
+        """Every actually-contained (query, node) pair must be a candidate."""
+        queries = random_workload(rng, 25)
+        positions = random_positions(rng, 250)
+        kernel = QueryEvalKernel(queries, bounds=BOUNDS, cells_per_side=16)
+        dense = kernel.containment(positions, prune=False)
+        pruned = kernel.containment(positions, prune=True)
+        np.testing.assert_array_equal(dense, pruned)
+
+
+class TestGridIndexBatchPath:
+    def test_query_batch_matches_query(self, rng):
+        index = GridIndex(BOUNDS, cells_per_side=10)
+        positions = rng.uniform(-50.0, 1050.0, (300, 2))
+        index.bulk_build(positions)
+        queries = random_workload(rng, 20)
+        batch = index.query_batch(queries)
+        for query, ids in zip(queries, batch):
+            assert set(map(int, ids)) == set(index.query(query.rect))
+            assert np.all(np.diff(ids) > 0)  # sorted, unique
+
+    def test_query_batch_empty_index(self):
+        index = GridIndex(BOUNDS, cells_per_side=4)
+        batch = index.query_batch([RangeQuery(0, Rect(0.0, 0.0, 10.0, 10.0))])
+        assert len(batch) == 1 and batch[0].size == 0
+
+    def test_query_batch_after_moves_and_removals(self, rng):
+        index = GridIndex(BOUNDS, cells_per_side=8)
+        positions = rng.uniform(0.0, 1000.0, (50, 2))
+        index.bulk_build(positions)
+        index.remove(7)
+        index.insert(3, 1.0, 1.0)
+        queries = [RangeQuery(0, Rect(0.0, 0.0, 500.0, 500.0))]
+        batch = index.query_batch(queries)
+        assert set(map(int, batch[0])) == set(index.query(queries[0].rect))
+        assert 7 not in set(map(int, batch[0]))
