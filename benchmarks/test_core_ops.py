@@ -5,7 +5,6 @@ statistics-grid construction, hierarchy aggregation, GRIDREDUCE,
 GREEDYINCREMENT, plan lookup, and the vectorized dead-reckoning fleet.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import (

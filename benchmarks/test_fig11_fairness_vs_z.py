@@ -1,6 +1,5 @@
 """Benchmark: Figure 11 — position error vs fairness threshold, by z."""
 
-import numpy as np
 
 from repro.experiments import run_fig11
 

@@ -6,7 +6,6 @@ cell would be noisy; we measure the default cell and assert the scaling
 shape from the in-experiment timings).
 """
 
-import pytest
 
 from repro.core import AnalyticReduction, LiraConfig, LiraLoadShedder, StatisticsGrid
 from repro.experiments import run_fig14

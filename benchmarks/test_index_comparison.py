@@ -7,7 +7,6 @@ ingest the same LIRA-shed update stream and answer the same queries,
 asserting identical results while pytest-benchmark records their costs.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import LiraConfig, StatisticsGrid

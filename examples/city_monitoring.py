@@ -15,7 +15,6 @@ import numpy as np
 from repro.core import (
     LiraConfig,
     LiraLoadShedder,
-    RegionHierarchy,
     StatisticsGrid,
     measure_reduction_from_trace,
 )

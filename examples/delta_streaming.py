@@ -13,7 +13,6 @@ their anchor across the city.
 Run:  python examples/delta_streaming.py
 """
 
-import numpy as np
 
 from repro.core import LiraConfig, StatisticsGrid
 from repro.cq import IncrementalCQEngine, MovingRangeQuery

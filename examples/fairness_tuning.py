@@ -14,7 +14,6 @@ Run:  python examples/fairness_tuning.py
 import numpy as np
 
 from repro import LiraConfig, LiraPolicy, Simulation, SimulationConfig, build_scenario
-from repro.geo import Point, Rect
 from repro.index import NodeTable
 from repro.motion import DeadReckoningFleet
 

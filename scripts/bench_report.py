@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Perf regression harness: run the hot-path benchmarks, emit BENCH_1.json.
+"""Perf regression harness: run the hot-path benchmarks, emit BENCH_2.json.
 
-Collects two kinds of evidence:
+Collects four kinds of evidence:
 
 1. Micro-benchmarks (``benchmarks/test_sim_kernel.py`` via
    pytest-benchmark): median ns per op for the simulation measurement
@@ -10,11 +10,15 @@ Collects two kinds of evidence:
 2. Macro wall-clock: the MEDIUM z-sweep (Figure 4's simulation matrix,
    6 z-values x 4 policies) serial and through the parallel runner with
    ``--jobs 4``, compared against the recorded seed baseline.
+3. Trace generation: the vectorized fleet engine vs the object-based
+   reference path at the paper's N=2000 population.
+4. Scenario cache: a cold ``build_scenario`` (trace + empirical
+   reduction regenerated) vs a hit on the persistent on-disk cache.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_1.json]
-        [--skip-micro] [--skip-macro]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_2.json]
+        [--skip-micro] [--skip-macro] [--skip-trace] [--skip-cache]
 
 The output schema is stable so future PRs can diff their numbers
 against this file (see ``schema``).
@@ -26,7 +30,6 @@ import argparse
 import json
 import os
 import platform
-import statistics
 import subprocess
 import sys
 import tempfile
@@ -122,6 +125,88 @@ def run_macro(repeats: int = 2) -> dict:
     }
 
 
+def run_trace_bench(repeats: int = 3) -> dict:
+    """Fleet vs object trace generation at N=2000 on the paper's scene."""
+    from repro.roadnet import make_default_scene
+    from repro.trace import TraceGenerator
+
+    n_vehicles = 2000
+    duration, dt, warmup = 600.0, 10.0, 100.0
+    network, traffic = make_default_scene(side_meters=14_000.0, seed=7)
+
+    def timed(engine):
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            gen = TraceGenerator(
+                network, traffic, n_vehicles=n_vehicles, seed=7, engine=engine
+            )
+            gen.generate(duration=duration, dt=dt, warmup=warmup)
+            samples.append(time.perf_counter() - t0)
+        return min(samples)
+
+    object_s = timed("object")
+    fleet_s = timed("fleet")
+    return {
+        "n_vehicles": n_vehicles,
+        "duration_s": duration,
+        "dt_s": dt,
+        "warmup_s": warmup,
+        "object_engine_s": round(object_s, 4),
+        "fleet_engine_s": round(fleet_s, 4),
+        "speedup_fleet_vs_object": round(object_s / fleet_s, 2),
+    }
+
+
+def run_cache_bench(repeats: int = 3) -> dict:
+    """Cold scenario builds vs a persistent-cache hit, default paper spec.
+
+    Cold is measured for both engines: ``object`` is what every cold
+    build cost before this cache existed (the seed baseline, like the
+    other seed comparisons in this report), ``fleet`` is the new
+    vectorized cold path.  The hit loads trace + reduction from disk.
+    """
+    from repro.sim import cache
+    from repro.sim.scenario import _cached_scenario, _cached_trace, build_scenario
+
+    def fresh_build(**kwargs):
+        # What a new process (pool worker, fresh CLI run) pays: the
+        # in-process memo is empty, only the disk cache can help.
+        _cached_scenario.cache_clear()
+        _cached_trace.cache_clear()
+        t0 = time.perf_counter()
+        build_scenario(**kwargs)
+        return time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        previous = os.environ.get(cache.ENV_CACHE_DIR)
+        os.environ[cache.ENV_CACHE_DIR] = tmp
+        try:
+            cache.set_cache_enabled(False)
+            cold_object = min(
+                fresh_build(engine="object") for _ in range(repeats)
+            )
+            cold_fleet = min(fresh_build() for _ in range(repeats))
+            cache.set_cache_enabled(True)
+            fresh_build()  # populate the disk cache
+            hit = min(fresh_build() for _ in range(repeats))
+        finally:
+            cache.set_cache_enabled(True)
+            if previous is None:
+                os.environ.pop(cache.ENV_CACHE_DIR, None)
+            else:
+                os.environ[cache.ENV_CACHE_DIR] = previous
+    return {
+        "spec": "build_scenario() defaults (n=2000, 1200 s trace, "
+        "12-sample empirical reduction)",
+        "cold_build_object_engine_s": round(cold_object, 4),
+        "cold_build_fleet_engine_s": round(cold_fleet, 4),
+        "cache_hit_build_s": round(hit, 4),
+        "speedup_hit_vs_cold_object": round(cold_object / hit, 2),
+        "speedup_hit_vs_cold_fleet": round(cold_fleet / hit, 2),
+    }
+
+
 def machine_info() -> dict:
     import numpy
 
@@ -135,14 +220,16 @@ def machine_info() -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_1.json"))
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_2.json"))
     parser.add_argument("--skip-micro", action="store_true")
     parser.add_argument("--skip-macro", action="store_true")
+    parser.add_argument("--skip-trace", action="store_true")
+    parser.add_argument("--skip-cache", action="store_true")
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args()
 
     report = {
-        "schema": "lira-bench/1",
+        "schema": "lira-bench/2",
         "recorded": "2026-08-06",
         "machine": machine_info(),
     }
@@ -161,6 +248,10 @@ def main() -> None:
         }
     if not args.skip_macro:
         report["medium_zsweep"] = run_macro(repeats=args.repeats)
+    if not args.skip_trace:
+        report["trace_generation"] = run_trace_bench(repeats=max(args.repeats, 3))
+    if not args.skip_cache:
+        report["scenario_cache"] = run_cache_bench(repeats=max(args.repeats, 3))
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -142,7 +142,6 @@ def uniform_partitioning(grid, l: int) -> PartitioningResult:
     aggregate exactly.  ``grid`` is a
     :class:`~repro.core.statistics_grid.StatisticsGrid`.
     """
-    import numpy as np
 
     if l < 1:
         raise ValueError("l must be >= 1")

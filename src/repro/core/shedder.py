@@ -15,8 +15,6 @@ import logging
 import time
 from dataclasses import dataclass
 
-logger = logging.getLogger(__name__)
-
 from repro.core.config import LiraConfig
 from repro.core.gridreduce import grid_reduce
 from repro.core.greedy import greedy_increment
@@ -25,6 +23,8 @@ from repro.core.quadtree import RegionHierarchy
 from repro.core.reduction import ReductionFunction
 from repro.core.statistics_grid import StatisticsGrid
 from repro.core.throtloop import ThrotLoop
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass

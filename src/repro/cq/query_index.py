@@ -38,7 +38,9 @@ class QueryIndex:
         i_hi = int((rect.x2 - self.bounds.x1) / self._cell_w)
         j_lo = int((rect.y1 - self.bounds.y1) / self._cell_h)
         j_hi = int((rect.y2 - self.bounds.y1) / self._cell_h)
-        clamp = lambda v: min(max(v, 0), self.cells_per_side - 1)
+        def clamp(v: int) -> int:
+            return min(max(v, 0), self.cells_per_side - 1)
+
         return clamp(i_lo), clamp(i_hi), clamp(j_lo), clamp(j_hi)
 
     def add(self, query: RangeQuery) -> None:

@@ -62,7 +62,17 @@ def main(argv: list[str] | None = None) -> int:
         help="fan simulations of sweep experiments over N worker "
         "processes (experiments without a jobs parameter run serially)",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent trace/scenario cache (see repro.sim.cache); "
+        "traces are regenerated from scratch and nothing is written to disk",
+    )
     args = parser.parse_args(argv)
+    if args.no_cache:
+        from repro.sim import cache
+
+        cache.set_cache_enabled(False)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
 

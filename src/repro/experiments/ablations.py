@@ -67,7 +67,7 @@ def run_ablation_increment(
     """
     import time as _time
 
-    from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
+    from repro.core import LiraLoadShedder, StatisticsGrid
 
     scenario = scale.scenario()
     trace = scenario.trace

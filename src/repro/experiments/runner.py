@@ -12,7 +12,10 @@ Scenarios are *not* pickled across the pool — a worker receives a
 under both ``fork`` (cache pages are shared copy-on-write) and ``spawn``
 (each worker rebuilds once, then hits its process-local cache); the
 optional pool initializer pre-warms every distinct spec so job latency
-is simulation time, not scene construction.
+is simulation time, not scene construction.  Under ``spawn``, each
+worker's first build also consults the persistent on-disk cache
+(:mod:`repro.sim.cache`), so the trace and reduction curve are loaded,
+not regenerated — workers only pay for workload generation.
 
 Determinism: a job carries its own simulation seed, and each
 ``Simulation.run`` creates a fresh ``np.random.default_rng(seed)``, so
@@ -60,6 +63,7 @@ class ScenarioSpec:
     delta_max: float = 100.0
     reduction: str = "empirical"
     reduction_samples: int = 12
+    engine: str = "fleet"
 
     @classmethod
     def from_scale(
@@ -99,6 +103,7 @@ class ScenarioSpec:
             delta_max=self.delta_max,
             reduction=self.reduction,
             reduction_samples=self.reduction_samples,
+            engine=self.engine,
         )
 
 

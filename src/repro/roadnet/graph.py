@@ -15,6 +15,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.geo import Point, Rect
 
 
@@ -104,6 +106,44 @@ class RoadNetwork:
     def incident_segments(self, node: int) -> list[int]:
         """Segment ids touching intersection ``node``."""
         return self.adjacency[node]
+
+    def segment_arrays(self) -> dict[str, np.ndarray]:
+        """The segment table as a struct-of-arrays bundle.
+
+        Keys: ``a``/``b`` (endpoint node ids, int64), ``length`` and
+        ``speed_limit`` (float64), plus ``node_xy`` with shape
+        ``(n_nodes, 2)``.  This is the static side of the vectorized
+        fleet engine; the graph itself stays object-based.
+        """
+        return {
+            "a": np.array([s.a for s in self.segments], dtype=np.int64),
+            "b": np.array([s.b for s in self.segments], dtype=np.int64),
+            "length": np.array([s.length for s in self.segments], dtype=np.float64),
+            "speed_limit": np.array(
+                [s.road_class.speed_limit for s in self.segments], dtype=np.float64
+            ),
+            "node_xy": np.array(
+                [[p.x, p.y] for p in self.nodes], dtype=np.float64
+            ).reshape(len(self.nodes), 2),
+        }
+
+    def adjacency_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Adjacency in CSR form: ``(indptr, seg_ids)``.
+
+        ``seg_ids[indptr[v]:indptr[v + 1]]`` are the segments incident to
+        intersection ``v``, in the same order as :meth:`incident_segments`.
+        """
+        degrees = np.array(
+            [len(self.adjacency[v]) for v in range(len(self.nodes))], dtype=np.int64
+        )
+        indptr = np.zeros(len(self.nodes) + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        seg_ids = np.fromiter(
+            (s for v in range(len(self.nodes)) for s in self.adjacency[v]),
+            dtype=np.int64,
+            count=int(indptr[-1]),
+        )
+        return indptr, seg_ids
 
     @property
     def total_length(self) -> float:

@@ -77,3 +77,24 @@ class TrafficVolumeModel:
         midpoint = self.network.segment_midpoint(seg_id)
         boost = sum(h.boost(midpoint) for h in self.hotspots)
         return seg.road_class.traffic_weight * (1.0 + boost)
+
+    def all_turn_weights(self) -> np.ndarray:
+        """Vector of :meth:`turn_weight` for every segment, vectorized.
+
+        One pass over the hotspot list with numpy distance tests instead
+        of per-segment Python calls; values match :meth:`turn_weight`.
+        """
+        segments = self.network.segments
+        n = len(segments)
+        mid = np.empty((n, 2), dtype=np.float64)
+        class_w = np.empty(n, dtype=np.float64)
+        for i, seg in enumerate(segments):
+            p = self.network.segment_midpoint(i)
+            mid[i, 0] = p.x
+            mid[i, 1] = p.y
+            class_w[i] = seg.road_class.traffic_weight
+        boost = np.zeros(n, dtype=np.float64)
+        for h in self.hotspots:
+            dist = np.hypot(mid[:, 0] - h.center.x, mid[:, 1] - h.center.y)
+            boost += np.where(dist <= h.radius, h.multiplier, 0.0)
+        return class_w * (1.0 + boost)

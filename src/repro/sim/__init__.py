@@ -1,5 +1,6 @@
 """Closed-loop simulation harness and experiment scenarios."""
 
+from repro.sim import cache
 from repro.sim.dynamics import (
     DynamicResult,
     QueryTimeline,
@@ -18,6 +19,7 @@ __all__ = [
     "DynamicResult",
     "QueryTimeline",
     "Scenario",
+    "cache",
     "TimedQuery",
     "Simulation",
     "SimulationConfig",

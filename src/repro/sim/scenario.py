@@ -3,7 +3,10 @@
 Building a trace and measuring the empirical reduction function are the
 expensive parts of an experiment; a :class:`Scenario` does both once and
 is shared across a parameter sweep.  :func:`build_scenario` memoizes on
-its parameters so repeated calls (e.g. from benchmarks) are free.
+its parameters in-process, and both the trace and the empirical
+reduction curve are additionally backed by the persistent on-disk cache
+(:mod:`repro.sim.cache`), so pool workers and fresh CLI invocations load
+them instead of regenerating.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from repro.shedding import (
     SheddingPolicy,
     UniformDeltaPolicy,
 )
+from repro.sim import cache
 from repro.trace import Trace, TraceGenerator
 
 
@@ -76,12 +80,54 @@ def _cached_trace(
     seed: int,
     side_meters: float,
     collector_spacing: float,
+    engine: str,
 ) -> Trace:
+    key = cache.cache_key(
+        "default-scene-trace",
+        n_nodes=n_nodes,
+        duration=duration,
+        dt=dt,
+        seed=seed,
+        side_meters=side_meters,
+        collector_spacing=collector_spacing,
+        engine=engine,
+    )
+    cached = cache.load_trace(key)
+    if cached is not None:
+        return cached
     network, traffic = make_default_scene(
         side_meters=side_meters, seed=seed, collector_spacing=collector_spacing
     )
-    generator = TraceGenerator(network, traffic, n_vehicles=n_nodes, seed=seed)
-    return generator.generate(duration=duration, dt=dt, warmup=10 * dt)
+    generator = TraceGenerator(
+        network, traffic, n_vehicles=n_nodes, seed=seed, engine=engine
+    )
+    trace = generator.generate(duration=duration, dt=dt, warmup=10 * dt)
+    cache.store_trace(key, trace)
+    return trace
+
+
+def _empirical_reduction(
+    trace: Trace,
+    trace_key_fields: dict,
+    delta_min: float,
+    delta_max: float,
+    n_samples: int,
+):
+    key = cache.cache_key(
+        "empirical-reduction",
+        delta_min=delta_min,
+        delta_max=delta_max,
+        n_samples=n_samples,
+        **trace_key_fields,
+    )
+    cached = cache.load_reduction(key)
+    if cached is not None:
+        return cached
+    reduction = measure_reduction_from_trace(
+        trace, delta_min, delta_max, n_samples=n_samples
+    )
+    cache.store_reduction(key, reduction)
+    return reduction
 
 
 @lru_cache(maxsize=8)
@@ -99,8 +145,11 @@ def _cached_scenario(
     delta_max: float,
     reduction_kind: str,
     reduction_samples: int,
+    engine: str,
 ) -> Scenario:
-    trace = _cached_trace(n_nodes, duration, dt, seed, side_meters, collector_spacing)
+    trace = _cached_trace(
+        n_nodes, duration, dt, seed, side_meters, collector_spacing, engine
+    )
     queries = generate_workload(
         trace.bounds,
         max(1, int(round(mn_ratio * n_nodes))),
@@ -110,8 +159,20 @@ def _cached_scenario(
         seed=seed,
     )
     if reduction_kind == "empirical":
-        reduction = measure_reduction_from_trace(
-            trace, delta_min, delta_max, n_samples=reduction_samples
+        reduction = _empirical_reduction(
+            trace,
+            {
+                "n_nodes": n_nodes,
+                "duration": duration,
+                "dt": dt,
+                "seed": seed,
+                "side_meters": side_meters,
+                "collector_spacing": collector_spacing,
+                "engine": engine,
+            },
+            delta_min,
+            delta_max,
+            reduction_samples,
         )
     elif reduction_kind == "analytic":
         reduction = AnalyticReduction(delta_min, delta_max)
@@ -141,12 +202,15 @@ def build_scenario(
     delta_max: float = 100.0,
     reduction: str = "empirical",
     reduction_samples: int = 12,
+    engine: str = "fleet",
 ) -> Scenario:
     """Build (or fetch from cache) a complete experiment scenario.
 
     Defaults mirror the paper: ~200 km^2 region, m/n = 0.01, w = 1000 m,
     proportional query distribution, Δ ∈ [5, 100] m, and an empirically
-    measured reduction function.
+    measured reduction function.  The trace and reduction curve hit the
+    in-process memo first and the persistent cache second; ``engine``
+    selects the trace engine (see :class:`~repro.trace.TraceGenerator`).
     """
     return _cached_scenario(
         n_nodes,
@@ -162,6 +226,7 @@ def build_scenario(
         delta_max,
         reduction,
         reduction_samples,
+        engine,
     )
 
 

@@ -4,6 +4,17 @@ Replaces the paper's (unavailable) trace generator.  Vehicles are seeded
 onto segments proportionally to traffic volume, then stepped forward in
 discrete time; the resulting :class:`~repro.trace.trace.Trace` has the
 skewed density and class-dependent speed heterogeneity LIRA exploits.
+
+Two interchangeable engines step the fleet:
+
+* ``engine="fleet"`` (default) — :class:`~repro.trace.fleet.FleetEngine`,
+  struct-of-arrays numpy stepping; the fast path.
+* ``engine="object"`` — the original per-:class:`Vehicle` loop; the
+  reference implementation the fleet engine is validated against.
+
+Both are deterministic given ``seed``; they draw from the RNG in
+different orders, so they produce statistically equivalent but not
+identical traces (see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -11,8 +22,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.roadnet import RoadNetwork, TrafficVolumeModel
+from repro.trace.fleet import FleetEngine
 from repro.trace.trace import Trace
 from repro.trace.vehicle import Vehicle
+
+ENGINES = ("fleet", "object")
 
 
 class TraceGenerator:
@@ -29,15 +43,24 @@ class TraceGenerator:
         traffic: TrafficVolumeModel,
         n_vehicles: int,
         seed: int = 7,
+        engine: str = "fleet",
     ) -> None:
         if n_vehicles <= 0:
             raise ValueError("n_vehicles must be positive")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.network = network
         self.traffic = traffic
         self.n_vehicles = n_vehicles
         self.seed = seed
+        self.engine = engine
         self._rng = np.random.default_rng(seed)
-        self.vehicles = self._seed_vehicles()
+        if engine == "fleet":
+            self._fleet = FleetEngine(network, traffic, n_vehicles, self._rng)
+            self.vehicles: list[Vehicle] = []
+        else:
+            self._fleet = None
+            self.vehicles = self._seed_vehicles()
 
     def _seed_vehicles(self) -> list[Vehicle]:
         probs = self.traffic.sampling_probabilities()
@@ -88,10 +111,16 @@ class TraceGenerator:
         )
 
     def _step_all(self, dt: float) -> None:
+        if self._fleet is not None:
+            self._fleet.step(dt, self._rng)
+            return
         for vehicle in self.vehicles:
             vehicle.step(self.network, self.traffic, dt, self._rng)
 
     def _record(self, pos_out: np.ndarray, vel_out: np.ndarray) -> None:
+        if self._fleet is not None:
+            self._fleet.record(pos_out, vel_out)
+            return
         for i, vehicle in enumerate(self.vehicles):
             p = vehicle.position(self.network)
             h = vehicle.heading(self.network)
@@ -110,6 +139,7 @@ def generate_default_trace(
     dt: float = 10.0,
     seed: int = 7,
     side_meters: float = 14_000.0,
+    engine: str = "fleet",
 ) -> Trace:
     """One-call trace: default scene + generator + one-hour simulation.
 
@@ -119,5 +149,7 @@ def generate_default_trace(
     from repro.roadnet import make_default_scene
 
     network, traffic = make_default_scene(side_meters=side_meters, seed=seed)
-    generator = TraceGenerator(network, traffic, n_vehicles=n_vehicles, seed=seed)
+    generator = TraceGenerator(
+        network, traffic, n_vehicles=n_vehicles, seed=seed, engine=engine
+    )
     return generator.generate(duration=duration, dt=dt, warmup=10 * dt)

@@ -16,6 +16,13 @@ import numpy as np
 from repro.geo import Point
 from repro.roadnet import RoadNetwork, TrafficVolumeModel
 
+#: Cap on intersection turns within a single ``step`` call.  A vehicle
+#: that reaches a zero-length segment makes no progress (``distance_left
+#: == 0`` consumes no time), so without a cap the ``while remaining``
+#: loop can spin forever on degenerate graphs; past the cap the vehicle
+#: parks at its current intersection until the next tick.
+MAX_TURNS_PER_STEP = 64
+
 
 @dataclass
 class Vehicle:
@@ -69,6 +76,7 @@ class Vehicle:
         traffic turn weights, avoiding a U-turn unless at a dead end.
         """
         remaining = dt
+        turns = 0
         while remaining > 0.0:
             limit = self.current_speed_limit(network)
             self.speed = limit * self.speed_factor * rng.uniform(0.9, 1.05)
@@ -80,6 +88,12 @@ class Vehicle:
                 return
             # Reach the far intersection and turn.
             remaining -= distance_left / max(self.speed, 1e-9)
+            turns += 1
+            if turns > MAX_TURNS_PER_STEP:
+                # Zero-length segments consume no time, so a degenerate
+                # graph can trap the loop; park at the intersection.
+                self.offset = seg.length
+                return
             arrived_at = seg.other_end(self.origin_node)
             self._turn(network, traffic, arrived_at, rng)
 

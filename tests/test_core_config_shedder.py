@@ -10,7 +10,6 @@ from repro.core import (
     StatisticsGrid,
     auto_alpha,
 )
-from repro.geo import Rect
 
 
 class TestAutoAlpha:

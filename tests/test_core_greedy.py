@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from scipy.optimize import linprog
 
-from repro.core import AnalyticReduction, PiecewiseLinearReduction, greedy_increment
+from repro.core import PiecewiseLinearReduction, greedy_increment
 from repro.core.greedy import RegionStats, _MinMultiset
 from repro.geo import Rect
 

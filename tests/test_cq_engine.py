@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cq import IncrementalCQEngine, MovingRangeQuery, QueryIndex, ResultDelta
+from repro.cq import IncrementalCQEngine, MovingRangeQuery, QueryIndex
 from repro.geo import Point, Rect
 from repro.queries import RangeQuery
 

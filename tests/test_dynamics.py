@@ -64,6 +64,60 @@ class TestQueryTimeline:
         with pytest.raises(ValueError):
             QueryTimeline.phased([], end_time=10.0)
 
+    def test_phased_single_phase_spans_whole_window(self):
+        timeline = QueryTimeline.phased([(0.0, [q(0), q(1)])], end_time=300.0)
+        assert [x.query_id for x in timeline.active_at(0.0)] == [0, 1]
+        assert [x.query_id for x in timeline.active_at(299.9)] == [0, 1]
+        assert timeline.active_at(300.0) == []
+        assert timeline.change_times() == [0.0, 300.0]
+
+    def test_phased_boundary_is_half_open(self):
+        # Back-to-back phases: at the boundary instant, the old phase is
+        # gone and the new one is active — no overlap, no gap.
+        timeline = QueryTimeline.phased(
+            [(0.0, [q(0)]), (100.0, [q(1)])], end_time=200.0
+        )
+        assert [x.query_id for x in timeline.active_at(100.0 - 1e-9)] == [0]
+        assert [x.query_id for x in timeline.active_at(100.0)] == [1]
+
+    def test_phased_consecutive_boundaries(self):
+        # Three phases whose boundaries are adjacent ticks; each instant
+        # sees exactly its own phase.
+        timeline = QueryTimeline.phased(
+            [(0.0, [q(0)]), (10.0, [q(1)]), (20.0, [q(2)])], end_time=30.0
+        )
+        for t, expected in ((0.0, 0), (10.0, 1), (20.0, 2)):
+            assert [x.query_id for x in timeline.active_at(t)] == [expected]
+        assert timeline.change_times() == [0.0, 10.0, 20.0, 30.0]
+
+    def test_phased_duplicate_start_times_rejected(self):
+        # A zero-length phase would need t_remove == t_install, which
+        # TimedQuery rejects; the error must surface, not crash later.
+        with pytest.raises(ValueError):
+            QueryTimeline.phased(
+                [(0.0, [q(0)]), (0.0, [q(1)])], end_time=100.0
+            )
+
+    def test_phased_last_phase_at_end_time_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTimeline.phased([(100.0, [q(0)])], end_time=100.0)
+
+    def test_query_inactive_exactly_at_t_remove(self):
+        timeline = QueryTimeline.phased([(0.0, [q(0)])], end_time=50.0)
+        entry = timeline.entries[0]
+        assert entry.t_remove == 50.0
+        assert entry.active_at(50.0 - 1e-9)
+        assert not entry.active_at(50.0)
+        assert timeline.active_at(50.0) == []
+
+    def test_phased_empty_phase_creates_gap(self):
+        # A phase with no queries is a deliberate quiet period.
+        timeline = QueryTimeline.phased(
+            [(0.0, [q(0)]), (10.0, []), (20.0, [q(1)])], end_time=30.0
+        )
+        assert timeline.active_at(15.0) == []
+        assert [x.query_id for x in timeline.active_at(25.0)] == [1]
+
 
 class TestDynamicSimulation:
     def _timeline(self, scenario):

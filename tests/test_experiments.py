@@ -1,9 +1,8 @@
 """Tests for the experiment harness (registry, runner, tiny end-to-end runs)."""
 
-import numpy as np
 import pytest
 
-from repro.experiments import EXPERIMENTS, SMALL, ExperimentScale, run_table1
+from repro.experiments import EXPERIMENTS, ExperimentScale, run_table1
 from repro.experiments.base import ExperimentResult
 from repro.experiments.__main__ import main as experiments_main
 

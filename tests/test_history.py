@@ -129,7 +129,9 @@ class TestHistoricalRangeQuery:
             small_trace.bounds.y2,
         )
         q = HistoricalRangeQuery(rect, 0.0, 50.0, n_samples=6)
-        tick_of = lambda t: min(int(t / small_trace.dt), small_trace.num_ticks - 1)
+        def tick_of(t):
+            return min(int(t / small_trace.dt), small_trace.num_ticks - 1)
+
         truth = q.evaluate_truth(small_trace, tick_of)
         # Sanity: subset of the population, and matches a manual check.
         manual = set()

@@ -14,13 +14,11 @@ import pytest
 from repro.experiments.common import SMALL, ExperimentScale, run_policy_suite
 from repro.experiments.runner import (
     ScenarioSpec,
-    SimJob,
     run_job,
     run_jobs,
     run_policy_sweep,
     suite_jobs,
 )
-from repro.queries import QueryDistribution
 from repro.sim import Simulation, SimulationConfig, make_policies
 
 #: SMALL, shortened in duration only — the acceptance scale's node count,

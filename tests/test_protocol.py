@@ -1,10 +1,8 @@
 """Tests for the plan-dissemination protocol (stations <-> mobile nodes)."""
 
-import numpy as np
 import pytest
 
 from repro.core import AnalyticReduction, LiraConfig, LiraLoadShedder
-from repro.geo import Point, Rect
 from repro.server import (
     BaseStationNetwork,
     MobileNode,

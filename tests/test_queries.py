@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.geo import Point, Rect
+from repro.geo import Rect
 from repro.queries import (
     QueryDistribution,
     RangeQuery,

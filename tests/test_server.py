@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import AnalyticReduction, LiraConfig, LiraLoadShedder, StatisticsGrid
+from repro.core import LiraConfig, LiraLoadShedder
 from repro.geo import Point, Rect
 from repro.queries import RangeQuery
 from repro.server import (

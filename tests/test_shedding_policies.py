@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import AnalyticReduction, LiraConfig
+from repro.core import LiraConfig
 from repro.shedding import (
     LiraGridPolicy,
     LiraPolicy,

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.geo import Rect
-from repro.trace import Trace, TraceGenerator, Vehicle
+from repro.geo import Point, Rect
+from repro.roadnet import RoadClass, RoadNetwork, TrafficVolumeModel
+from repro.trace import TRACE_FORMAT_VERSION, Trace, TraceGenerator, Vehicle
 
 
 class TestVehicle:
@@ -46,6 +47,21 @@ class TestVehicle:
         vehicle.step(network, traffic, dt=0.5, rng=rng)
         limit = network.segments[vehicle.seg_id].road_class.speed_limit
         assert vehicle.speed <= limit * 1.05 + 1e-9
+
+    def test_step_terminates_on_zero_length_dead_end(self, rng):
+        # Regression: a zero-length segment leaves distance_left == 0, so
+        # without the turn cap the `while remaining > 0` loop spins
+        # forever (crossing consumes no time and the dead end U-turns
+        # back onto the same segment).
+        net = RoadNetwork(bounds=Rect(0.0, 0.0, 1000.0, 1000.0))
+        a = net.add_node(Point(100.0, 100.0))
+        b = net.add_node(Point(100.0, 100.0))  # same position: length 0
+        net.add_segment(a, b, RoadClass.COLLECTOR)
+        traffic = TrafficVolumeModel(network=net)
+        vehicle = Vehicle(seg_id=0, origin_node=a, offset=0.0, speed_factor=1.0)
+        vehicle.step(net, traffic, dt=10.0, rng=rng)  # must return
+        assert vehicle.seg_id == 0
+        assert vehicle.offset == 0.0
 
 
 class TestTraceGenerator:
@@ -143,3 +159,65 @@ class TestTraceContainer:
         np.testing.assert_array_equal(loaded.velocities, small_trace.velocities)
         assert loaded.dt == small_trace.dt
         assert loaded.bounds == small_trace.bounds
+
+    def test_save_stamps_format_version(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        small_trace.save(path)
+        with np.load(path) as data:
+            assert int(data["version"][0]) == TRACE_FORMAT_VERSION
+
+    def test_load_accepts_legacy_unversioned_files(self, small_trace, tmp_path):
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(
+            path,
+            positions=small_trace.positions,
+            velocities=small_trace.velocities,
+            dt=np.array([small_trace.dt]),
+            bounds=np.array([
+                small_trace.bounds.x1, small_trace.bounds.y1,
+                small_trace.bounds.x2, small_trace.bounds.y2,
+            ]),
+        )
+        loaded = Trace.load(path)
+        np.testing.assert_array_equal(loaded.positions, small_trace.positions)
+
+    def test_load_rejects_future_version(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        small_trace.save(path)
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        arrays["version"] = np.array([TRACE_FORMAT_VERSION + 1], dtype=np.int64)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            Trace.load(path)
+
+    def test_load_rejects_missing_fields(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        np.savez_compressed(path, positions=small_trace.positions)
+        with pytest.raises(ValueError, match="missing fields"):
+            Trace.load(path)
+
+    def test_load_rejects_out_of_bounds_positions(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        bad = Trace(
+            bounds=Rect(0.0, 0.0, 1.0, 1.0),  # far smaller than the data
+            dt=small_trace.dt,
+            positions=small_trace.positions,
+            velocities=small_trace.velocities,
+        )
+        bad.save(path)
+        with pytest.raises(ValueError, match="outside its bounds"):
+            Trace.load(path)
+
+    def test_load_rejects_non_finite_samples(self, small_trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        positions = small_trace.positions.copy()
+        positions[0, 0, 0] = np.nan
+        Trace(
+            bounds=small_trace.bounds,
+            dt=small_trace.dt,
+            positions=positions,
+            velocities=small_trace.velocities,
+        ).save(path)
+        with pytest.raises(ValueError, match="non-finite"):
+            Trace.load(path)

@@ -3,13 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import (
-    AnalyticReduction,
-    LiraConfig,
-    LiraLoadShedder,
-    SheddingPlan,
-    validate_plan,
-)
+from repro.core import LiraConfig, LiraLoadShedder, SheddingPlan, validate_plan
 from repro.core.greedy import RegionStats
 from repro.geo import Rect
 from repro.queries import RangeQuery
@@ -149,9 +143,6 @@ class TestSafeRegionPolicy:
             ]
 
         before, after = memberships(positions), memberships(moved)
-        outside_before = ~np.any(
-            [np.isin(np.arange(300), list(m)) for m in before], axis=0
-        )
         # Nodes outside all queries with threshold > delta_min must still
         # be outside after a sub-threshold move.
         for q_before, q_after in zip(before, after):
