@@ -14,11 +14,15 @@ Collects four kinds of evidence:
    reference path at the paper's N=2000 population.
 4. Scenario cache: a cold ``build_scenario`` (trace + empirical
    reduction regenerated) vs a hit on the persistent on-disk cache.
+5. Fault-injection seam: the SMALL systems loop without any injector,
+   with a null-spec injector (must be free — it takes the same code
+   path), and under a lossy spec (the cost of actually injecting).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_2.json]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_3.json]
         [--skip-micro] [--skip-macro] [--skip-trace] [--skip-cache]
+        [--skip-faults]
 
 The output schema is stable so future PRs can diff their numbers
 against this file (see ``schema``).
@@ -207,6 +211,43 @@ def run_cache_bench(repeats: int = 3) -> dict:
     }
 
 
+def run_faults_bench(repeats: int = 3) -> dict:
+    """Systems-loop wall-clock across channel configurations (SMALL).
+
+    The lossless default (``faults=None``) is the baseline; a null-spec
+    injector must cost ~nothing on top of it (the seam short-circuits);
+    the lossy spec shows what fault injection itself costs.
+    """
+    from repro.experiments.common import SMALL
+    from repro.experiments.resilience import run_system
+    from repro.faults import FaultSpec
+
+    SMALL.scenario()  # warm the scenario cache out of the timed region
+
+    def timed(spec):
+        samples = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run_system(SMALL, "lira", spec=spec)
+            samples.append(time.perf_counter() - t0)
+        return min(samples)
+
+    bare = timed(None)
+    null = timed(FaultSpec())
+    lossy = timed(
+        FaultSpec(uplink_loss=0.2, uplink_delay=0.1, downlink_loss=0.2)
+    )
+    return {
+        "scale": "small",
+        "no_injector_s": round(bare, 4),
+        "null_injector_s": round(null, 4),
+        "lossy_injector_s": round(lossy, 4),
+        "null_overhead_pct": round((null / bare - 1.0) * 100.0, 2),
+        "lossy_overhead_pct": round((lossy / bare - 1.0) * 100.0, 2),
+        "lossy_spec": "uplink_loss=0.2 uplink_delay=0.1 downlink_loss=0.2",
+    }
+
+
 def machine_info() -> dict:
     import numpy
 
@@ -220,16 +261,17 @@ def machine_info() -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_2.json"))
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_3.json"))
     parser.add_argument("--skip-micro", action="store_true")
     parser.add_argument("--skip-macro", action="store_true")
     parser.add_argument("--skip-trace", action="store_true")
     parser.add_argument("--skip-cache", action="store_true")
+    parser.add_argument("--skip-faults", action="store_true")
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args()
 
     report = {
-        "schema": "lira-bench/2",
+        "schema": "lira-bench/3",
         "recorded": "2026-08-06",
         "machine": machine_info(),
     }
@@ -252,6 +294,8 @@ def main() -> None:
         report["trace_generation"] = run_trace_bench(repeats=max(args.repeats, 3))
     if not args.skip_cache:
         report["scenario_cache"] = run_cache_bench(repeats=max(args.repeats, 3))
+    if not args.skip_faults:
+        report["fault_injection"] = run_faults_bench(repeats=max(args.repeats, 3))
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -33,6 +33,7 @@ from repro.core import (
     measure_reduction_from_trace,
     validate_plan,
 )
+from repro.faults import FaultInjector, FaultSpec
 from repro.server import LiraSystem
 from repro.shedding import (
     LiraGridPolicy,
@@ -47,6 +48,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnalyticReduction",
+    "FaultInjector",
+    "FaultSpec",
     "LiraConfig",
     "LiraGridPolicy",
     "LiraLoadShedder",

@@ -28,13 +28,17 @@ class ThrotLoop:
     ``queue_capacity`` is B, the maximum input-queue size.  ``z_floor``
     guards against a single pathological measurement collapsing the
     budget to zero (the paper's experiments never drive z below ~0.25,
-    where all alternatives converge anyway).
+    where all alternatives converge anyway).  ``reopen_factor`` bounds
+    how fast the budget reopens after a period with *no* arrivals, where
+    the control law is undefined — the symmetric guard against a single
+    empty measurement whipsawing z fully open.
     """
 
     queue_capacity: int
     z: float = 1.0
     z_floor: float = 0.01
     smoothing: float | None = None
+    reopen_factor: float = 2.0
     history: list[float] = field(default_factory=list)
     _smoothed_utilization: float | None = field(default=None, repr=False)
 
@@ -47,6 +51,8 @@ class ThrotLoop:
             raise ValueError("z_floor must be in (0, 1]")
         if self.smoothing is not None and not (0.0 < self.smoothing <= 1.0):
             raise ValueError("smoothing must be in (0, 1] (or None)")
+        if self.reopen_factor <= 1.0:
+            raise ValueError("reopen_factor must be > 1")
 
     @property
     def target_utilization(self) -> float:
@@ -83,8 +89,12 @@ class ThrotLoop:
         u = utilization / self.target_utilization
         previous = self.z
         if u <= 0:
-            # No arrivals at all: open the budget fully.
-            self.z = 1.0
+            # No arrivals at all: the law z/u is undefined, but snapping
+            # the budget fully open would whipsaw — one empty measurement
+            # period (a lossy uplink, a churn dip) and the next overload
+            # period re-sheds from scratch.  Reopen gradually instead,
+            # bounded by reopen_factor per period.
+            self.z = min(1.0, self.z * self.reopen_factor)
         else:
             self.z = min(1.0, max(self.z_floor, self.z / u))
         if self.z < previous:

@@ -31,6 +31,7 @@ from repro.experiments.fig08_fig09_regions import run_fig08, run_fig09
 from repro.experiments.fig10_fig11_fairness import run_fig10, run_fig11
 from repro.experiments.fig12_fig13_workload import run_fig12, run_fig13
 from repro.experiments.fig14_server_cost import run_fig14
+from repro.experiments.resilience import run_resilience
 from repro.experiments.table1_preference import run_table1
 from repro.experiments.table3_messaging import run_table3
 from repro.experiments.zsweep import run_fig04, run_fig05, run_fig06, run_fig07
@@ -53,6 +54,7 @@ EXPERIMENTS = {
     "fig13": run_fig13,
     "fig14": run_fig14,
     "table3": run_table3,
+    "resilience": run_resilience,
     "ablation-speed": run_ablation_speed_factor,
     "ablation-alpha": run_ablation_alpha_rule,
     "ablation-increment": run_ablation_increment,
@@ -99,6 +101,7 @@ __all__ = [
     "run_ext_safe_region",
     "run_ext_sampling",
     "run_ext_snapshot",
+    "run_resilience",
     "run_table1",
     "run_table3",
 ]

@@ -1,0 +1,21 @@
+"""Fault injection for the server–network loop (see :mod:`repro.faults.channel`)."""
+
+from repro.faults.channel import (
+    DELAYED,
+    DELIVER,
+    LOSSLESS,
+    LOST,
+    FaultCounters,
+    FaultInjector,
+    FaultSpec,
+)
+
+__all__ = [
+    "DELAYED",
+    "DELIVER",
+    "LOSSLESS",
+    "LOST",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultSpec",
+]

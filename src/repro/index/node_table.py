@@ -24,6 +24,7 @@ class NodeTable:
         self._time = np.zeros(n_nodes, dtype=np.float64)
         self._known = np.zeros(n_nodes, dtype=bool)
         self.updates_applied = 0
+        self.updates_discarded = 0
 
     def ingest(
         self,
@@ -36,10 +37,21 @@ class NodeTable:
 
         ``node_ids`` indexes into the table; ``positions`` and
         ``velocities`` are the reported model parameters, one row per id.
+        A report older than the node's stored model (a delayed message
+        delivered out of order) is discarded — newest model wins.
         """
         node_ids = np.asarray(node_ids, dtype=np.int64)
         if node_ids.size == 0:
             return
+        stale = self._known[node_ids] & (self._time[node_ids] > t)
+        if stale.any():
+            self.updates_discarded += int(stale.sum())
+            fresh = ~stale
+            node_ids = node_ids[fresh]
+            positions = np.asarray(positions)[fresh]
+            velocities = np.asarray(velocities)[fresh]
+            if node_ids.size == 0:
+                return
         self._pos[node_ids] = positions
         self._vel[node_ids] = velocities
         self._time[node_ids] = t
@@ -61,3 +73,8 @@ class NodeTable:
     def known_mask(self) -> np.ndarray:
         """Boolean mask of nodes with at least one received report."""
         return self._known.copy()
+
+    @property
+    def last_update_times(self) -> np.ndarray:
+        """Report time of each node's stored motion model."""
+        return self._time.copy()

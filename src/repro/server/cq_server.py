@@ -37,13 +37,19 @@ class UpdateMessage:
 
 @dataclass
 class LoadMeasurement:
-    """Arrival/service accounting over one measurement period."""
+    """Arrival/service accounting over one measurement period.
+
+    ``dropped`` counts queue-overflow drops, ``shed`` counts updates the
+    server itself refused at admission (the Random Drop regime's
+    server-actuated shedding); both are included in ``arrivals``.
+    """
 
     arrivals: int
     processed: int
     dropped: int
     period: float
     service_rate: float
+    shed: int = 0
 
     @property
     def arrival_rate(self) -> float:
@@ -52,7 +58,15 @@ class LoadMeasurement:
 
     @property
     def utilization(self) -> float:
-        """ρ = λ/μ."""
+        """ρ = λ/μ.
+
+        The dataclass is public, so a zero or negative ``service_rate``
+        can be constructed directly; a dead server under any load is
+        infinitely utilized (and idle at zero load), not a
+        ``ZeroDivisionError`` mid-measurement.
+        """
+        if self.service_rate <= 0:
+            return float("inf") if self.arrival_rate > 0 else 0.0
         return self.arrival_rate / self.service_rate
 
 
@@ -97,8 +111,13 @@ class MobileCQServer:
         self._service_credit = 0.0
         self._period_arrivals = 0
         self._period_processed = 0
-        self._period_dropped = 0
+        self._period_shed = 0
         self._period_time = 0.0
+        # The queue's monotonic drop counter is the single source of
+        # truth for overflow drops; the measurement period just marks
+        # where it stood when the period opened.
+        self._period_drop_mark = self.queue.lifetime_dropped
+        self.total_admission_dropped = 0
 
     def receive_reports(
         self,
@@ -106,17 +125,36 @@ class MobileCQServer:
         node_ids: np.ndarray,
         positions: np.ndarray,
         velocities: np.ndarray,
+        times: np.ndarray | None = None,
+        admit_fraction: float = 1.0,
+        admit_rng: np.random.Generator | None = None,
     ) -> int:
         """Enqueue a batch of arriving reports; returns how many fit.
 
         Arrivals beyond the queue capacity are dropped (counted in the
         queue's statistics and the current load measurement).
+
+        ``times`` optionally carries each message's original report
+        timestamp (a faulty uplink delivers delayed messages ticks after
+        they were sent); ``None`` means every report was sampled at
+        ``t``.  With ``admit_fraction < 1`` the server sheds arriving
+        updates uniformly at random before the queue — the paper's
+        Random Drop regime — drawing from ``admit_rng``.
         """
         node_ids = np.asarray(node_ids, dtype=np.int64)
+        admitted_mask = None
+        if admit_fraction < 1.0:
+            if admit_rng is None:
+                raise ValueError("admit_fraction < 1 requires admit_rng")
+            admitted_mask = admit_rng.random(node_ids.size) < admit_fraction
         admitted = 0
         for k, node_id in enumerate(node_ids):
+            if admitted_mask is not None and not admitted_mask[k]:
+                self._period_shed += 1
+                self.total_admission_dropped += 1
+                continue
             message = UpdateMessage(
-                time=t,
+                time=float(times[k]) if times is not None else t,
                 node_id=int(node_id),
                 x=float(positions[k, 0]),
                 y=float(positions[k, 1]),
@@ -125,20 +163,24 @@ class MobileCQServer:
             )
             if self.queue.offer(message):
                 admitted += 1
-            else:
-                self._period_dropped += 1
         self._period_arrivals += len(node_ids)
         return admitted
 
-    def process(self, dt: float) -> int:
+    def process(self, dt: float, rate_factor: float = 1.0) -> int:
         """Serve the queue for ``dt`` seconds of processing capacity.
 
         Fractional capacity carries over between calls so that slow
-        service rates are modeled exactly.
+        service rates are modeled exactly.  ``rate_factor`` scales the
+        capacity for this call only — the hook through which transient
+        server slowdowns are injected; the load measurement keeps the
+        nominal μ, so a dip shows up as apparent overload, exactly as a
+        real controller would observe it.
         """
         if dt < 0:
             raise ValueError("dt must be non-negative")
-        self._service_credit += self.service_rate * dt
+        if rate_factor < 0:
+            raise ValueError("rate_factor must be non-negative")
+        self._service_credit += self.service_rate * rate_factor * dt
         budget = int(self._service_credit)
         batch = self.queue.poll_batch(budget)
         self._service_credit -= len(batch)
@@ -175,28 +217,36 @@ class MobileCQServer:
                 np.array(sorted(self.engine.result(q.query_id)), dtype=np.int64)
                 for q in self.queries
             ]
-        known = self.table.known_mask
-        results = []
-        for query in self.queries:
-            in_rect = query.evaluate(np.nan_to_num(believed, nan=np.inf))
-            results.append(in_rect[known[in_rect]])
-        return results
+        # Evaluate on the known subset directly: never-seen nodes predict
+        # to NaN, and substituting a sentinel for them (the old approach)
+        # lets a degenerate open-ended query rect (max = inf) match nodes
+        # the server has no position for.
+        known_idx = np.flatnonzero(self.table.known_mask)
+        believed_known = believed[known_idx]
+        return [
+            known_idx[query.evaluate(believed_known)] for query in self.queries
+        ]
 
     def take_load_measurement(self) -> LoadMeasurement:
         """Close the current measurement period and return its statistics.
 
         Feed :attr:`LoadMeasurement.arrival_rate` and ``service_rate``
-        to THROTLOOP for adaptive throttle-fraction control.
+        to THROTLOOP for adaptive throttle-fraction control.  Overflow
+        drops are derived from the queue's monotonic counter, so they
+        stay correct even if the queue's resettable counters were
+        zeroed mid-period.
         """
         measurement = LoadMeasurement(
             arrivals=self._period_arrivals,
             processed=self._period_processed,
-            dropped=self._period_dropped,
+            dropped=self.queue.lifetime_dropped - self._period_drop_mark,
             period=self._period_time,
             service_rate=self.service_rate,
+            shed=self._period_shed,
         )
         self._period_arrivals = 0
         self._period_processed = 0
-        self._period_dropped = 0
+        self._period_shed = 0
         self._period_time = 0.0
+        self._period_drop_mark = self.queue.lifetime_dropped
         return measurement

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
 
 from repro.geo import Point, Rect
 from repro.core.plan import SheddingPlan, SheddingRegion
@@ -86,25 +87,42 @@ class _SubsetIndex:
 
 
 class BaseStationNetwork:
-    """The wired middle layer: stations, subsets, and broadcast accounting."""
+    """The wired middle layer: stations, subsets, and broadcast accounting.
 
-    def __init__(self, stations: list[BaseStation]) -> None:
+    ``downlink`` optionally injects faults into the per-station plan
+    broadcasts (see :class:`repro.faults.FaultInjector`): a lost
+    broadcast leaves the station serving its previous — stale — subset,
+    a delayed one installs at a later tick via :meth:`deliver_pending`.
+    Without a downlink the network is the paper's perfect wired layer.
+    """
+
+    def __init__(self, stations: list[BaseStation], downlink=None) -> None:
         if not stations:
             raise ValueError("at least one base station is required")
         self.stations = stations
+        self.downlink = downlink
         self._subsets: dict[int, RegionSubset] = {}
         self.version = 0
         self.total_broadcast_bytes = 0
         self.total_broadcasts = 0
+        #: Pending delayed broadcasts: station id -> (deliver_t, subset).
+        self._pending: dict[int, tuple[float, RegionSubset]] = {}
+        #: Time each plan version was generated (staleness accounting).
+        self._version_times: dict[int, float] = {}
 
-    def install_plan(self, plan: SheddingPlan) -> dict[int, RegionSubset]:
+    def install_plan(
+        self, plan: SheddingPlan, t: float = 0.0
+    ) -> dict[int, RegionSubset]:
         """Compute and broadcast every station's region subset.
 
-        Returns the new subsets (keyed by station id) and accumulates
-        the wireless messaging cost.
+        Returns the subsets delivered immediately (keyed by station id)
+        and accumulates the wireless messaging cost.  Broadcast bytes
+        count every transmission attempt — a lost broadcast still spent
+        the airtime.
         """
         self.version += 1
-        self._subsets = {}
+        self._version_times[self.version] = t
+        delivered: dict[int, RegionSubset] = {}
         for station in self.stations:
             members = tuple(
                 plan.regions[i] for i in station.regions_in_coverage(plan)
@@ -114,10 +132,60 @@ class BaseStationNetwork:
                 regions=members,
                 version=self.version,
             )
-            self._subsets[station.station_id] = subset
             self.total_broadcast_bytes += subset.payload_bytes
             self.total_broadcasts += 1
-        return dict(self._subsets)
+            if self.downlink is not None:
+                from repro.faults.channel import DELAYED, LOST
+
+                fate, delay = self.downlink.downlink_fate(station.station_id)
+                if fate == LOST:
+                    continue
+                if fate == DELAYED:
+                    self._pending[station.station_id] = (t + delay, subset)
+                    continue
+            self._subsets[station.station_id] = subset
+            self._pending.pop(station.station_id, None)
+            delivered[station.station_id] = subset
+        return delivered
+
+    def deliver_pending(self, t: float) -> int:
+        """Install delayed broadcasts whose delivery time has matured."""
+        if not self._pending:
+            return 0
+        installed = 0
+        for station_id in [
+            sid for sid, (due, _) in self._pending.items() if due <= t
+        ]:
+            _, subset = self._pending.pop(station_id)
+            current = self._subsets.get(station_id)
+            # An old delayed broadcast must not clobber a newer install.
+            if current is None or subset.version > current.version:
+                self._subsets[station_id] = subset
+                installed += 1
+        return installed
+
+    def staleness(self, t: float) -> tuple[float, float]:
+        """Plan-staleness summary at time ``t``.
+
+        Returns ``(mean_age, stale_fraction)``: the mean age in seconds
+        of the plan version each station currently serves (a station
+        that never received any broadcast counts age ``t``), and the
+        fraction of stations serving something older than the latest
+        version.
+        """
+        if self.version == 0:
+            return 0.0, 0.0
+        ages, stale = [], 0
+        for station in self.stations:
+            subset = self._subsets.get(station.station_id)
+            if subset is None:
+                ages.append(t)
+                stale += 1
+                continue
+            ages.append(t - self._version_times[subset.version])
+            if subset.version != self.version:
+                stale += 1
+        return float(np.mean(ages)), stale / len(self.stations)
 
     def station_for(self, x: float, y: float) -> BaseStation:
         """The station serving a position: nearest covering, else nearest.
@@ -138,6 +206,11 @@ class BaseStationNetwork:
             )
         return self._subsets[station_id]
 
+    def subset_or_none(self, station_id: int) -> RegionSubset | None:
+        """Like :meth:`subset_for_station`, but ``None`` when the station
+        has never received a broadcast (lost on a faulty downlink)."""
+        return self._subsets.get(station_id)
+
 
 @dataclass
 class MobileNode:
@@ -157,21 +230,38 @@ class MobileNode:
 
     def observe_position(self, x: float, y: float, network: BaseStationNetwork) -> None:
         """Attach to the serving station, downloading its subset on
-        hand-off or when the broadcast version advanced."""
+        hand-off or when the broadcast version advanced.
+
+        A node stores only its *current* station's subset.  Handing off
+        to a station that has no subset (its broadcast was lost on a
+        faulty downlink) therefore clears the node's stored regions —
+        the old station's regions do not apply here, so every threshold
+        lookup falls back to the conservative default Δ until the next
+        broadcast arrives.
+        """
         station = network.station_for(x, y)
-        subset = network.subset_for_station(station.station_id)
+        subset = network.subset_or_none(station.station_id)
         if station.station_id != self.station_id:
             if self.station_id is not None:
                 self.handoffs += 1
             self.station_id = station.station_id
-            self._install(subset)
-        elif self.subset is None or subset.version != self.subset.version:
+            if subset is None:
+                self._clear()
+            else:
+                self._install(subset)
+        elif subset is not None and (
+            self.subset is None or subset.version != self.subset.version
+        ):
             self._install(subset)
 
     def _install(self, subset: RegionSubset) -> None:
         self.subset = subset
         self._index = _SubsetIndex(subset.regions) if subset.regions else None
         self.subset_installs += 1
+
+    def _clear(self) -> None:
+        self.subset = None
+        self._index = None
 
     def current_threshold(self, x: float, y: float, default: float) -> float:
         """The update throttler at the node's position, decided locally.

@@ -23,6 +23,13 @@ class BoundedQueue:
         self.total_enqueued = 0
         self.total_dropped = 0
         self.total_dequeued = 0
+        # Monotonic lifetime counters: never cleared by reset_counters().
+        # Period accounting (e.g. the server's load measurements) derives
+        # from these, so a mid-period reset of the resettable counters
+        # cannot make the two views of "how many drops" disagree.
+        self.lifetime_enqueued = 0
+        self.lifetime_dropped = 0
+        self.lifetime_dequeued = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -35,9 +42,11 @@ class BoundedQueue:
         """Enqueue if there is room; returns False (and counts a drop) if full."""
         if self.is_full:
             self.total_dropped += 1
+            self.lifetime_dropped += 1
             return False
         self._items.append(item)
         self.total_enqueued += 1
+        self.lifetime_enqueued += 1
         return True
 
     def poll(self) -> Any | None:
@@ -45,6 +54,7 @@ class BoundedQueue:
         if not self._items:
             return None
         self.total_dequeued += 1
+        self.lifetime_dequeued += 1
         return self._items.popleft()
 
     def poll_batch(self, max_items: int) -> list[Any]:
@@ -55,6 +65,7 @@ class BoundedQueue:
         while self._items and len(batch) < max_items:
             batch.append(self._items.popleft())
         self.total_dequeued += len(batch)
+        self.lifetime_dequeued += len(batch)
         return batch
 
     def drop_rate(self) -> float:
@@ -65,7 +76,8 @@ class BoundedQueue:
         return self.total_dropped / arrivals
 
     def reset_counters(self) -> None:
-        """Zero the accounting counters (queue contents are kept)."""
+        """Zero the resettable counters (queue contents and the
+        monotonic ``lifetime_*`` counters are kept)."""
         self.total_enqueued = 0
         self.total_dropped = 0
         self.total_dequeued = 0

@@ -12,6 +12,15 @@ plus the trajectory archive for historic/snapshot queries.  The
 simulation harness in :mod:`repro.sim` is the *measurement* loop (it
 shortcuts the protocol for speed); this class is the *systems* loop —
 every update flows through the real component path.
+
+Both wireless hops can be made imperfect by injecting a
+:class:`~repro.faults.FaultInjector` (``faults=``): update messages on
+the node→server uplink may be lost, delayed, or reordered; plan
+broadcasts on the server→station downlink may be lost or delayed (so
+nodes run with *stale* region subsets); the server may suffer transient
+service-rate dips; and nodes may churn.  With ``faults=None`` (or a
+null-spec injector) every code path is bit-identical to the perfect
+lossless deployment.
 """
 
 from __future__ import annotations
@@ -21,7 +30,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
+from repro.core.greedy import RegionStats
+from repro.core.plan import SheddingPlan
 from repro.core.reduction import ReductionFunction
+from repro.faults import FaultInjector
 from repro.geo import Rect
 from repro.history import TrajectoryStore
 from repro.motion import DeadReckoningFleet
@@ -30,10 +42,20 @@ from repro.server.base_station import BaseStation, place_uniform_stations
 from repro.server.cq_server import MobileCQServer
 from repro.server.protocol import BaseStationNetwork, MobileNode
 
+#: Systems-loop policies: LIRA's source-actuated region-aware shedding,
+#: or the paper's Random Drop regime (every node at Δ⊢, the server
+#: admitting a random fraction z of arrivals).
+POLICIES = ("lira", "random-drop")
+
 
 @dataclass
 class SystemStats:
-    """A point-in-time summary of the running system."""
+    """A point-in-time summary of the running system.
+
+    The fields after ``handoffs`` are degradation-aware accounting:
+    plan-staleness ages, fault-layer loss/delay counters, and churn —
+    all zero in a lossless deployment.
+    """
 
     time: float
     z: float
@@ -43,6 +65,19 @@ class SystemStats:
     updates_processed: int
     broadcast_bytes: int
     handoffs: int
+    plan_version: int = 0
+    mean_plan_staleness: float = 0.0
+    stale_station_fraction: float = 0.0
+    uplink_sent: int = 0
+    uplink_lost: int = 0
+    uplink_delayed: int = 0
+    uplink_in_flight: int = 0
+    downlink_lost: int = 0
+    downlink_delayed: int = 0
+    admission_drops: int = 0
+    updates_discarded: int = 0
+    slow_ticks: int = 0
+    active_nodes: int = 0
 
 
 class LiraSystem:
@@ -52,6 +87,15 @@ class LiraSystem:
     and :meth:`adapt` (one server adaptation, typically every N ticks).
     Query results come from :meth:`evaluate_queries`; historic state
     from :attr:`history`.
+
+    Args:
+        faults: optional fault injector wrapped around the protocol
+            loop; ``None`` is the perfect channel.
+        policy: ``"lira"`` (default) or ``"random-drop"`` — the latter
+            runs the paper's uncontrolled regime through the same
+            protocol stack: a trivial one-region plan at Δ⊢ and
+            server-side random admission at fraction z.
+        policy_seed: seed for the Random Drop admission lottery.
     """
 
     def __init__(
@@ -67,9 +111,16 @@ class LiraSystem:
         stations: list[BaseStation] | None = None,
         adaptive_throttle: bool = True,
         receive_substeps: int = 10,
+        faults: FaultInjector | None = None,
+        policy: str = "lira",
+        policy_seed: int = 0,
     ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
         self.config = config or LiraConfig(l=49, alpha=64)
         self.bounds = bounds
+        self.policy = policy
+        self.faults = faults
         self.server = MobileCQServer(
             bounds,
             n_nodes,
@@ -83,14 +134,15 @@ class LiraSystem:
         if adaptive_throttle:
             self.shedder.use_adaptive_throttle()
         self.network = BaseStationNetwork(
-            stations or place_uniform_stations(bounds, station_radius)
+            stations or place_uniform_stations(bounds, station_radius),
+            downlink=faults if faults is not None else None,
         )
         self.nodes = [MobileNode(node_id=i) for i in range(n_nodes)]
         self.fleet = DeadReckoningFleet(n_nodes)
         self.history = TrajectoryStore(n_nodes)
         self.receive_substeps = max(1, receive_substeps)
         self._plan_installed = False
-        self._total_handoffs_base = 0
+        self._policy_rng = np.random.default_rng(policy_seed)
         self.current_time = 0.0
 
     def bootstrap(self, positions: np.ndarray, velocities: np.ndarray) -> None:
@@ -118,16 +170,29 @@ class LiraSystem:
             self.shedder.observe_load(
                 measurement.arrival_rate, self.server.service_rate
             )
-        grid = StatisticsGrid.from_snapshot(
-            self.bounds,
-            self.config.resolved_alpha,
-            positions,
-            speeds,
-            self.server.queries,
-        )
-        plan = self.shedder.adapt(grid)
-        self.network.install_plan(plan)
+        if self.policy == "random-drop":
+            plan = self._trivial_plan()
+        else:
+            grid = StatisticsGrid.from_snapshot(
+                self.bounds,
+                self.config.resolved_alpha,
+                positions,
+                speeds,
+                self.server.queries,
+            )
+            plan = self.shedder.adapt(grid)
+        self.network.install_plan(plan, t=self.current_time)
         self._plan_installed = True
+
+    def _trivial_plan(self) -> SheddingPlan:
+        """One region covering the bounds at Δ⊢: no source throttling."""
+        region = RegionStats(rect=self.bounds, n=0.0, m=0.0, s=0.0)
+        return SheddingPlan.from_regions(
+            bounds=self.bounds,
+            regions=[region],
+            thresholds=np.array([self.config.delta_min]),
+            resolution=1,
+        )
 
     # ------------------------------------------------------------------
     # Data path
@@ -145,8 +210,19 @@ class LiraSystem:
         if not self._plan_installed:
             raise RuntimeError("call adapt() before the first tick()")
         self.current_time = t
+        faults = self.faults
+        active = None
+        rate_factor = 1.0
+        if faults is not None:
+            self.network.deliver_pending(t)
+            active = faults.churn_step(len(self.nodes))
+            rate_factor = faults.service_factor(t)
         thresholds = np.empty(len(self.nodes))
         for i, node in enumerate(self.nodes):
+            if active is not None and not active[i]:
+                # Departed node: samples nothing, sends nothing.
+                thresholds[i] = np.inf
+                continue
             x, y = float(positions[i, 0]), float(positions[i, 1])
             node.observe_position(x, y, self.network)
             thresholds[i] = node.current_threshold(
@@ -155,11 +231,30 @@ class LiraSystem:
         self.fleet.set_thresholds(thresholds)
         senders = self.fleet.observe(t, positions, velocities)
         self.history.record(t, senders, positions[senders], velocities[senders])
-        for chunk in np.array_split(senders, self.receive_substeps):
-            self.server.receive_reports(
-                t, chunk, positions[chunk], velocities[chunk]
+        if faults is None:
+            ids, pos, vel, times = (
+                senders,
+                positions[senders],
+                velocities[senders],
+                None,
             )
-            self.server.process(dt / self.receive_substeps)
+        else:
+            ids, pos, vel, times = faults.uplink(
+                t, senders, positions[senders], velocities[senders]
+            )
+        admit = 1.0 if self.policy == "lira" else self.shedder.current_z
+        splits = np.array_split(np.arange(ids.size), self.receive_substeps)
+        for chunk in splits:
+            self.server.receive_reports(
+                t,
+                ids[chunk],
+                pos[chunk],
+                vel[chunk],
+                times=times[chunk] if times is not None else None,
+                admit_fraction=admit,
+                admit_rng=self._policy_rng if admit < 1.0 else None,
+            )
+            self.server.process(dt / self.receive_substeps, rate_factor=rate_factor)
         return int(senders.size)
 
     def evaluate_queries(self, t: float | None = None) -> list[np.ndarray]:
@@ -174,6 +269,9 @@ class LiraSystem:
 
     def stats(self) -> SystemStats:
         """A snapshot of system-level counters."""
+        mean_staleness, stale_fraction = self.network.staleness(self.current_time)
+        counters = self.faults.counters if self.faults is not None else None
+        active = self.faults.active_mask if self.faults is not None else None
         return SystemStats(
             time=self.current_time,
             z=self.shedder.current_z,
@@ -183,4 +281,21 @@ class LiraSystem:
             updates_processed=self.server.table.updates_applied,
             broadcast_bytes=self.network.total_broadcast_bytes,
             handoffs=sum(node.handoffs for node in self.nodes),
+            plan_version=self.network.version,
+            mean_plan_staleness=mean_staleness,
+            stale_station_fraction=stale_fraction,
+            uplink_sent=counters.uplink_sent if counters else 0,
+            uplink_lost=counters.uplink_lost if counters else 0,
+            uplink_delayed=counters.uplink_delayed if counters else 0,
+            uplink_in_flight=(
+                self.faults.uplink_in_flight if self.faults is not None else 0
+            ),
+            downlink_lost=counters.downlink_lost if counters else 0,
+            downlink_delayed=counters.downlink_delayed if counters else 0,
+            admission_drops=self.server.total_admission_dropped,
+            updates_discarded=self.server.table.updates_discarded,
+            slow_ticks=counters.slow_ticks if counters else 0,
+            active_nodes=(
+                int(active.sum()) if active is not None else len(self.nodes)
+            ),
         )

@@ -50,9 +50,29 @@ class TestControlLaw:
         z = loop.step_utilization(target)
         assert z == pytest.approx(0.6)
 
-    def test_zero_arrivals_opens_fully(self):
+    def test_zero_arrivals_reopens_gradually(self):
+        """An empty measurement period must not whipsaw the budget fully
+        open; z grows by at most reopen_factor per period."""
         loop = ThrotLoop(queue_capacity=10, z=0.3)
+        assert loop.step(arrival_rate=0.0, service_rate=10.0) == pytest.approx(0.6)
         assert loop.step(arrival_rate=0.0, service_rate=10.0) == 1.0
+
+    def test_empty_period_does_not_reshed_from_scratch(self):
+        """Regression: steady overload holds z low; one empty period
+        (lossy uplink / churn dip) must not snap z to 1.0, which made the
+        next overload period re-shed from scratch."""
+        loop = ThrotLoop(queue_capacity=50)
+        for _ in range(10):
+            loop.step(arrival_rate=400.0, service_rate=100.0)
+        settled = loop.z
+        assert settled < 0.5
+        loop.step(arrival_rate=0.0, service_rate=100.0)
+        assert loop.z <= settled * loop.reopen_factor + 1e-12
+        assert loop.z < 1.0
+
+    def test_reopen_factor_validated(self):
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, reopen_factor=1.0)
 
     def test_converges_under_proportional_plant(self):
         """Closed loop: arrival rate proportional to z. Must converge to

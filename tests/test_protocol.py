@@ -172,3 +172,69 @@ class TestFaultTolerance:
         the conservative default (delta_min): never under-reports."""
         node = MobileNode(node_id=11)
         assert node.current_threshold(1e9, 1e9, default=5.0) == 5.0
+
+    def _two_station_net(self, plan, lost_station_id):
+        """Two adjacent stations; ``lost_station_id`` never hears a
+        broadcast (its downlink loses every plan install)."""
+        from repro.faults import DELIVER, LOST
+        from repro.geo import Point
+        from repro.server.base_station import BaseStation
+
+        b = plan.bounds
+        radius = b.width / 3.0
+        stations = [
+            BaseStation(0, Point(b.x1 + b.width * 0.25, b.center.y), radius),
+            BaseStation(1, Point(b.x1 + b.width * 0.75, b.center.y), radius),
+        ]
+
+        class _LoseOne:
+            def downlink_fate(self, station_id):
+                if station_id == lost_station_id:
+                    return LOST, 0.0
+                return DELIVER, 0.0
+
+        return BaseStationNetwork(stations, downlink=_LoseOne()), stations
+
+    def test_crossing_into_broadcastless_station_uses_default_delta(
+        self, plan
+    ):
+        """Satellite regression: a node handing off to a station whose
+        plan broadcast was lost must fall back to the default Δ — not
+        keep applying the *previous* station's region thresholds to
+        coordinates they were never computed for."""
+        net, stations = self._two_station_net(plan, lost_station_id=1)
+        net.install_plan(plan, t=0.0)
+        b = plan.bounds
+        left = (stations[0].center.x, stations[0].center.y)
+        right = (stations[1].center.x, stations[1].center.y)
+        node = MobileNode(node_id=12)
+        node.observe_position(*left, net)
+        assert node.stored_region_count > 0
+        old_threshold = node.current_threshold(*left, default=3.21)
+        assert old_threshold != 3.21  # resolved from a real region
+        # Cross the station boundary; station 1 never got a subset.
+        node.observe_position(*right, net)
+        assert node.handoffs == 1
+        assert node.subset is None
+        assert node.current_threshold(*right, default=3.21) == 3.21
+        # The stale neighbor threshold must NOT leak across the boundary.
+        assert node.current_threshold(*right, default=3.21) != old_threshold
+
+    def test_node_recovers_when_broadcast_finally_lands(self, plan):
+        """After the lossy station finally receives a plan, the node's
+        next observation reinstalls and thresholds match the plan."""
+        net, stations = self._two_station_net(plan, lost_station_id=1)
+        net.install_plan(plan, t=0.0)
+        right = (stations[1].center.x, stations[1].center.y)
+        node = MobileNode(node_id=13)
+        node.observe_position(*right, net)
+        assert node.subset is None
+        # Repair the downlink; the next install reaches station 1.
+        net.downlink = None
+        net.install_plan(plan, t=50.0)
+        node.observe_position(*right, net)
+        assert node.subset is not None
+        assert node.subset.version == net.version
+        assert node.current_threshold(
+            *right, default=3.21
+        ) == plan.threshold_at(*right)

@@ -68,6 +68,20 @@ class TestBoundedQueue:
         with pytest.raises(ValueError):
             BoundedQueue(5).poll_batch(-1)
 
+    def test_lifetime_counters_survive_reset(self):
+        q = BoundedQueue(1)
+        q.offer(1)
+        q.offer(2)  # dropped
+        q.poll()
+        q.reset_counters()
+        assert q.total_enqueued == q.total_dropped == 0
+        assert q.lifetime_enqueued == 1
+        assert q.lifetime_dropped == 1
+        assert q.lifetime_dequeued == 1
+        q.offer(3)
+        q.offer(4)  # dropped
+        assert q.lifetime_dropped == 2
+
 
 class TestBaseStations:
     def _plan(self, small_grid, reduction):
@@ -197,6 +211,90 @@ class TestMobileCQServer:
         assert m.utilization == pytest.approx(1.0)
         # Counters reset after measurement.
         assert server.take_load_measurement().arrivals == 0
+
+    def test_open_ended_query_excludes_unknown_nodes(self):
+        """Satellite regression: queries are evaluated on the known-node
+        subset directly.  The old code substituted a sentinel for
+        never-seen nodes, which an open-ended (infinite-extent) query
+        rect could match — fabricating results for nodes the server has
+        no position for."""
+        queries = [RangeQuery(0, Rect(0.0, 0.0, np.inf, np.inf))]
+        server = MobileCQServer(
+            self.BOUNDS, 4, queries, service_rate=10.0, queue_capacity=10
+        )
+        server.receive_reports(
+            0.0, np.array([2]), np.array([[10.0, 10.0]]), np.zeros((1, 2))
+        )
+        server.process(1.0)
+        results = server.evaluate_queries(0.0)
+        assert list(results[0]) == [2]  # nodes 0, 1, 3 never reported
+
+    def test_utilization_guards_zero_service_rate(self):
+        """Satellite regression: a LoadMeasurement constructed with a
+        dead server (service_rate <= 0) must report infinite utilization
+        under load — not raise ZeroDivisionError mid-adaptation."""
+        from repro.server.cq_server import LoadMeasurement
+
+        dead = LoadMeasurement(
+            arrivals=10, processed=0, dropped=0, period=1.0, service_rate=0.0
+        )
+        assert dead.utilization == float("inf")
+        idle = LoadMeasurement(
+            arrivals=0, processed=0, dropped=0, period=1.0, service_rate=0.0
+        )
+        assert idle.utilization == 0.0
+        negative = LoadMeasurement(
+            arrivals=5, processed=0, dropped=0, period=2.0, service_rate=-1.0
+        )
+        assert negative.utilization == float("inf")
+
+    def test_period_drops_survive_queue_counter_reset(self):
+        """Satellite regression: period drop accounting is derived from
+        the queue's monotonic lifetime counter, so zeroing the queue's
+        resettable counters mid-period cannot under-report drops."""
+        server = self._server(service_rate=1.0, capacity=2, n_nodes=8)
+        ids = np.arange(4)
+        server.receive_reports(0.0, ids, np.zeros((4, 2)), np.zeros((4, 2)))
+        assert server.queue.total_dropped == 2
+        server.queue.reset_counters()  # external reset mid-period
+        server.receive_reports(1.0, ids + 4, np.zeros((4, 2)), np.zeros((4, 2)))
+        server.process(1.0)
+        m = server.take_load_measurement()
+        assert m.dropped == 6  # 2 before the reset + 4 after
+        # The next period starts from a clean mark.
+        assert server.take_load_measurement().dropped == 0
+
+    def test_admission_shedding_counts_separately(self):
+        """Random-Drop-style admission shedding is accounted apart from
+        queue-overflow drops."""
+        server = self._server(service_rate=100.0, capacity=100, n_nodes=100)
+        rng = np.random.default_rng(0)
+        ids = np.arange(100)
+        admitted = server.receive_reports(
+            0.0,
+            ids,
+            np.zeros((100, 2)),
+            np.zeros((100, 2)),
+            admit_fraction=0.3,
+            admit_rng=rng,
+        )
+        m = server.take_load_measurement()
+        assert m.arrivals == 100
+        assert m.shed == 100 - admitted
+        assert m.dropped == 0
+        assert server.total_admission_dropped == m.shed
+        assert 10 < admitted < 60  # ~Binomial(100, 0.3)
+
+    def test_admission_fraction_requires_rng(self):
+        server = self._server()
+        with pytest.raises(ValueError):
+            server.receive_reports(
+                0.0,
+                np.array([0]),
+                np.zeros((1, 2)),
+                np.zeros((1, 2)),
+                admit_fraction=0.5,
+            )
 
     def test_stats_grid_maintenance(self):
         queries = [RangeQuery(0, Rect(0.0, 0.0, 50.0, 50.0))]
