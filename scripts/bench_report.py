@@ -37,7 +37,6 @@ import platform
 import subprocess
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -93,20 +92,20 @@ def run_macro(repeats: int = 2) -> dict:
     from repro.experiments.zsweep import run_zsweep
     from repro.queries import QueryDistribution
 
+    from repro.metrics.cost import best_wall_seconds
+
     MEDIUM.scenario(distribution=QueryDistribution.PROPORTIONAL)  # warm cache
 
     def timed(jobs):
-        samples = []
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            run_zsweep(
+        return best_wall_seconds(
+            lambda: run_zsweep(
                 "mean_position_error",
                 QueryDistribution.PROPORTIONAL,
                 MEDIUM,
                 jobs=jobs,
-            )
-            samples.append(time.perf_counter() - t0)
-        return min(samples)
+            ),
+            repeats=repeats,
+        )
 
     serial = timed(None)
     parallel = timed(4)
@@ -131,6 +130,7 @@ def run_macro(repeats: int = 2) -> dict:
 
 def run_trace_bench(repeats: int = 3) -> dict:
     """Fleet vs object trace generation at N=2000 on the paper's scene."""
+    from repro.metrics.cost import best_wall_seconds
     from repro.roadnet import make_default_scene
     from repro.trace import TraceGenerator
 
@@ -138,16 +138,14 @@ def run_trace_bench(repeats: int = 3) -> dict:
     duration, dt, warmup = 600.0, 10.0, 100.0
     network, traffic = make_default_scene(side_meters=14_000.0, seed=7)
 
+    def generate(engine):
+        gen = TraceGenerator(
+            network, traffic, n_vehicles=n_vehicles, seed=7, engine=engine
+        )
+        gen.generate(duration=duration, dt=dt, warmup=warmup)
+
     def timed(engine):
-        samples = []
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            gen = TraceGenerator(
-                network, traffic, n_vehicles=n_vehicles, seed=7, engine=engine
-            )
-            gen.generate(duration=duration, dt=dt, warmup=warmup)
-            samples.append(time.perf_counter() - t0)
-        return min(samples)
+        return best_wall_seconds(lambda: generate(engine), repeats=repeats)
 
     object_s = timed("object")
     fleet_s = timed("fleet")
@@ -170,6 +168,7 @@ def run_cache_bench(repeats: int = 3) -> dict:
     other seed comparisons in this report), ``fleet`` is the new
     vectorized cold path.  The hit loads trace + reduction from disk.
     """
+    from repro.metrics.cost import Stopwatch
     from repro.sim import cache
     from repro.sim.scenario import _cached_scenario, _cached_trace, build_scenario
 
@@ -178,9 +177,9 @@ def run_cache_bench(repeats: int = 3) -> dict:
         # in-process memo is empty, only the disk cache can help.
         _cached_scenario.cache_clear()
         _cached_trace.cache_clear()
-        t0 = time.perf_counter()
-        build_scenario(**kwargs)
-        return time.perf_counter() - t0
+        with Stopwatch() as stopwatch:
+            build_scenario(**kwargs)
+        return stopwatch.elapsed
 
     with tempfile.TemporaryDirectory() as tmp:
         previous = os.environ.get(cache.ENV_CACHE_DIR)
@@ -221,16 +220,14 @@ def run_faults_bench(repeats: int = 3) -> dict:
     from repro.experiments.common import SMALL
     from repro.experiments.resilience import run_system
     from repro.faults import FaultSpec
+    from repro.metrics.cost import best_wall_seconds
 
     SMALL.scenario()  # warm the scenario cache out of the timed region
 
     def timed(spec):
-        samples = []
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            run_system(SMALL, "lira", spec=spec)
-            samples.append(time.perf_counter() - t0)
-        return min(samples)
+        return best_wall_seconds(
+            lambda: run_system(SMALL, "lira", spec=spec), repeats=repeats
+        )
 
     bare = timed(None)
     null = timed(FaultSpec())

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import argparse
 import inspect
-import time
 from pathlib import Path
 
 from repro.experiments import EXPERIMENTS, SCALES
+from repro.metrics.cost import Stopwatch
 
 #: What the paper's version of each artifact shows (the target shape).
 PAPER_CLAIMS = {
@@ -316,12 +316,12 @@ def main(argv=None) -> int:
     names = args.only or list(EXPERIMENTS)
     for name in names:
         runner = EXPERIMENTS[name]
-        started = time.perf_counter()
-        if "scale" in inspect.signature(runner).parameters:
-            result = runner(scale=scale)
-        else:
-            result = runner()
-        elapsed = time.perf_counter() - started
+        with Stopwatch() as stopwatch:
+            if "scale" in inspect.signature(runner).parameters:
+                result = runner(scale=scale)
+            else:
+                result = runner()
+        elapsed = stopwatch.elapsed
         print(f"[{name}] done in {elapsed:.1f}s")
         sections.append(f"## {name}: {result.title}\n")
         sections.append(f"**Paper:** {PAPER_CLAIMS.get(name, '(extension)')}\n")

@@ -15,7 +15,7 @@ from repro.core.gridreduce import (
     uniform_partitioning,
 )
 from repro.core.greedy import GreedyResult, RegionStats, greedy_increment
-from repro.core.plan import SheddingPlan, SheddingRegion
+from repro.core.plan import SheddingPlan, SheddingRegion, clamp_thresholds
 from repro.core.quadtree import RegionHierarchy, RegionNode
 from repro.core.reduction import (
     AnalyticReduction,
@@ -47,6 +47,7 @@ __all__ = [
     "ThrotLoop",
     "auto_alpha",
     "calc_err_gain",
+    "clamp_thresholds",
     "effective_region_count",
     "greedy_increment",
     "grid_reduce",

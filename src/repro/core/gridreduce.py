@@ -17,10 +17,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.greedy import RegionStats, greedy_increment
 from repro.core.quadtree import RegionHierarchy, RegionNode
 from repro.core.reduction import PiecewiseLinearReduction, ReductionFunction
+
+if TYPE_CHECKING:
+    from repro.core.statistics_grid import StatisticsGrid
+    from repro.geo import Rect
 
 
 @dataclass
@@ -167,7 +172,9 @@ def uniform_partitioning(grid, l: int) -> PartitioningResult:
     return PartitioningResult(regions=regions, nodes=[], expansions=0)
 
 
-def _block_rect(grid, i_lo: int, i_hi: int, j_lo: int, j_hi: int):
+def _block_rect(
+    grid: StatisticsGrid, i_lo: int, i_hi: int, j_lo: int, j_hi: int
+) -> Rect:
     """Geographic rectangle of a block of statistics-grid cells."""
     from repro.geo import Rect
 

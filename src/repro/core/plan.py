@@ -11,11 +11,33 @@ statistics-grid cell boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.geo import Rect
+from repro.core.config import LiraConfig
 from repro.core.greedy import RegionStats
+
+
+def clamp_thresholds(thresholds: np.ndarray, config: LiraConfig) -> np.ndarray:
+    """Project throttlers into the paper's invariants (a copy is returned).
+
+    Enforces the Δ domain ``Δ⊢ ≤ Δᵢ ≤ Δ⊣`` and the fairness spread
+    ``max Δᵢ − min Δᵢ ≤ Δ⇔`` (by lowering outliers toward
+    ``min Δᵢ + Δ⇔``).  ``greedy_increment`` constructs thresholds inside
+    these bounds already; hand-built threshold vectors — trivial plans,
+    ablations, test fixtures — must route through this helper before
+    reaching :meth:`SheddingPlan.from_regions` (reprolint rule REP020).
+    """
+    out = np.array(thresholds, dtype=np.float64, copy=True)
+    if out.size == 0:
+        return out
+    np.clip(out, config.delta_min, config.delta_max, out=out)
+    if config.fairness is not None:
+        ceiling = float(out.min()) + config.fairness
+        np.clip(out, None, ceiling, out=out)
+    return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -190,17 +212,15 @@ class SheddingPlan:
         thresholds = np.array([record["delta"] for record in doc["regions"]])
         return cls.from_regions(bounds, regions, thresholds, doc["resolution"])
 
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Write the plan to a JSON file."""
         import json
-        from pathlib import Path
 
         Path(path).write_text(json.dumps(self.to_dict(), indent=2))
 
     @classmethod
-    def load(cls, path) -> "SheddingPlan":
+    def load(cls, path: str | Path) -> "SheddingPlan":
         """Read a plan written by :meth:`save`."""
         import json
-        from pathlib import Path
 
         return cls.from_dict(json.loads(Path(path).read_text()))

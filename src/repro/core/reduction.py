@@ -19,8 +19,12 @@ Three implementations:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.trace.trace import Trace
 
 
 class ReductionFunction(ABC):
@@ -216,7 +220,7 @@ class AnalyticReduction(ReductionFunction):
 
 
 def measure_reduction_from_trace(
-    trace,
+    trace: Trace,
     delta_min: float = 5.0,
     delta_max: float = 100.0,
     n_samples: int = 20,

@@ -12,7 +12,6 @@ via :meth:`LiraLoadShedder.observe_load`.
 from __future__ import annotations
 
 import logging
-import time
 from dataclasses import dataclass
 
 from repro.core.config import LiraConfig
@@ -23,6 +22,7 @@ from repro.core.quadtree import RegionHierarchy
 from repro.core.reduction import ReductionFunction
 from repro.core.statistics_grid import StatisticsGrid
 from repro.core.throtloop import ThrotLoop
+from repro.timing import Stopwatch
 
 logger = logging.getLogger(__name__)
 
@@ -102,31 +102,31 @@ class LiraLoadShedder:
                 f"{self.config.resolved_alpha}"
             )
         z = self.current_z
-        started = time.perf_counter()
-        hierarchy = RegionHierarchy(grid)
-        partitioning = grid_reduce(
-            hierarchy,
-            self.config.l,
-            z,
-            self.reduction,
-            increment=self.config.increment,
-            use_speed=self.config.use_speed,
-        )
-        result = greedy_increment(
-            partitioning.regions,
-            self.reduction,
-            z,
-            increment=self.config.increment,
-            fairness=self.config.fairness,
-            use_speed=self.config.use_speed,
-        )
-        plan = SheddingPlan.from_regions(
-            bounds=grid.bounds,
-            regions=partitioning.regions,
-            thresholds=result.thresholds,
-            resolution=grid.alpha,
-        )
-        elapsed = time.perf_counter() - started
+        with Stopwatch() as stopwatch:
+            hierarchy = RegionHierarchy(grid)
+            partitioning = grid_reduce(
+                hierarchy,
+                self.config.l,
+                z,
+                self.reduction,
+                increment=self.config.increment,
+                use_speed=self.config.use_speed,
+            )
+            result = greedy_increment(
+                partitioning.regions,
+                self.reduction,
+                z,
+                increment=self.config.increment,
+                fairness=self.config.fairness,
+                use_speed=self.config.use_speed,
+            )
+            plan = SheddingPlan.from_regions(
+                bounds=grid.bounds,
+                regions=partitioning.regions,
+                thresholds=result.thresholds,
+                resolution=grid.alpha,
+            )
+        elapsed = stopwatch.elapsed
         logger.debug(
             "adaptation: z=%.3f regions=%d budget_met=%s inaccuracy=%.2f "
             "elapsed=%.1fms",

@@ -16,10 +16,15 @@ precomputation.  All three are supported here:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.geo import Rect
 from repro.queries import RangeQuery
+
+if TYPE_CHECKING:
+    from repro.index.grid_index import GridIndex
 
 
 class StatisticsGrid:
@@ -67,7 +72,7 @@ class StatisticsGrid:
     @classmethod
     def from_grid_index(
         cls,
-        index,
+        index: GridIndex,
         queries: list[RangeQuery] | None = None,
         speeds: np.ndarray | None = None,
     ) -> "StatisticsGrid":
@@ -135,6 +140,8 @@ class StatisticsGrid:
         clipped = rect.intersection(
             Rect(self.bounds.x1, self.bounds.y1, self.bounds.x2, self.bounds.y2)
         )
+        # reprolint: disable=REP010 - exact guard for a degenerate
+        # zero-area query rectangle before fractional-overlap weighting.
         if clipped is None or rect.area == 0.0:
             return
         i_lo = self._clamp_i((clipped.x1 - self.bounds.x1) / self._cell_w)

@@ -12,9 +12,9 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
-import time
 
 from repro.experiments import EXPERIMENTS, SCALES
+from repro.metrics.cost import Stopwatch
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,13 +88,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.zsweep import run_figs04_07
 
         scale = SCALES[args.scale]
-        started = time.perf_counter()
-        results = run_figs04_07(scale=scale, jobs=args.jobs)
-        elapsed = time.perf_counter() - started
+        with Stopwatch() as stopwatch:
+            results = run_figs04_07(scale=scale, jobs=args.jobs)
         for name, result in results.items():
             print(result.format_table())
             print()
-        print(f"[zsweep-all completed in {elapsed:.1f}s at scale={scale.name}]")
+        print(
+            f"[zsweep-all completed in {stopwatch.elapsed:.1f}s "
+            f"at scale={scale.name}]"
+        )
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -105,22 +107,22 @@ def main(argv: list[str] | None = None) -> int:
     scale = SCALES[args.scale]
     for name in names:
         runner = EXPERIMENTS[name]
-        started = time.perf_counter()
         parameters = inspect.signature(runner).parameters
         supports_scale = "scale" in parameters
         kwargs = {}
         if args.jobs is not None and "jobs" in parameters:
             kwargs["jobs"] = args.jobs
-        if args.replicate and supports_scale:
-            from repro.experiments.replication import replicate
+        with Stopwatch() as stopwatch:
+            if args.replicate and supports_scale:
+                from repro.experiments.replication import replicate
 
-            seeds = tuple(scale.seed + 10 * k for k in range(args.replicate))
-            result = replicate(runner, scale, seeds=seeds)
-        elif supports_scale:
-            result = runner(scale=scale, **kwargs)
-        else:
-            result = runner()
-        elapsed = time.perf_counter() - started
+                seeds = tuple(scale.seed + 10 * k for k in range(args.replicate))
+                result = replicate(runner, scale, seeds=seeds)
+            elif supports_scale:
+                result = runner(scale=scale, **kwargs)
+            else:
+                result = runner()
+        elapsed = stopwatch.elapsed
         print(result.format_table())
         if args.plot:
             from repro.experiments.plotting import render_ascii_chart

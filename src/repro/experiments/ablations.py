@@ -65,9 +65,8 @@ def run_ablation_increment(
     Expect: error roughly flat until c_Δ gets coarse, adaptation time
     falling as c_Δ grows.
     """
-    import time as _time
-
     from repro.core import LiraLoadShedder, StatisticsGrid
+    from repro.metrics.cost import Stopwatch
 
     scenario = scale.scenario()
     trace = scenario.trace
@@ -97,9 +96,9 @@ def run_ablation_increment(
             trace.speeds(0), scenario.queries,
         )
         shedder = LiraLoadShedder(config, scenario.reduction)
-        started = _time.perf_counter()
-        shedder.adapt(grid)
-        times.append((_time.perf_counter() - started) * 1000.0)
+        with Stopwatch() as stopwatch:
+            shedder.adapt(grid)
+        times.append(stopwatch.elapsed * 1000.0)
     result.add_series("E_rr^C", errors)
     result.add_series("adaptation time (ms)", times)
     return result

@@ -12,14 +12,13 @@
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import MEDIUM, ExperimentScale
 from repro.history import TrajectoryStore, snapshot_position_error
 from repro.index import MovingObject, TPRTree
+from repro.metrics.cost import Stopwatch
 from repro.motion import DeadReckoningFleet
 from repro.sim import Simulation, SimulationConfig, make_policies
 
@@ -451,12 +450,11 @@ def run_ext_index_load(
                     )
                 )
         tree = TPRTree(horizon=6 * trace.dt, max_entries=8)
-        started = time.perf_counter()
-        for obj in stream:
-            tree.update(obj)
-        elapsed = time.perf_counter() - started
+        with Stopwatch() as stopwatch:
+            for obj in stream:
+                tree.update(obj)
         update_counts.append(len(stream))
-        apply_times.append(elapsed * 1000.0)
+        apply_times.append(stopwatch.elapsed * 1000.0)
     result = ExperimentResult(
         experiment_id="ext-index-load",
         title="TPR-tree maintenance load vs throttle fraction (LIRA stream)",

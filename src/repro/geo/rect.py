@@ -96,6 +96,8 @@ class Rect:
         region's query count m_i.
         """
         inter = self.intersection(other)
+        # reprolint: disable=REP010 - exact guard for a degenerate
+        # zero-area rectangle before dividing by self.area.
         if inter is None or self.area == 0.0:
             return 0.0
         return inter.area / self.area

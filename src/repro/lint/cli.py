@@ -1,0 +1,107 @@
+"""reprolint command line: ``python -m repro.lint [paths]``.
+
+Exit codes: 0 — clean (warnings allowed); 1 — at least one
+error-severity finding (including unused suppressions and parse
+failures); 2 — usage error (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import run_paths
+from repro.lint.findings import Severity
+from repro.lint.registry import all_rules
+
+
+def _parse_rule_list(raw: str, known: frozenset[str]) -> frozenset[str]:
+    rules = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    unknown = rules - known
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return rules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "reprolint: determinism- and invariant-aware static analysis "
+            "for the LIRA reproduction (rule catalog: docs/lint_rules.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text, one 'file:line:col RULE "
+        "message' per finding)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES", help="comma-separated rule ids to run exclusively"
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES", help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = all_rules()
+    known = frozenset(rule.id for rule in rules)
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.name:28s} [{rule.severity.value}] {rule.summary}")
+        return 0
+
+    try:
+        select = _parse_rule_list(args.select, known) if args.select else None
+        ignore = (
+            _parse_rule_list(args.ignore, known) if args.ignore else frozenset()
+        )
+    except argparse.ArgumentTypeError as exc:
+        parser.error(str(exc))
+
+    config = LintConfig(select=select, ignore=ignore)
+    try:
+        findings, files_checked = run_paths(list(args.paths), config=config)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": files_checked,
+                    "findings": [f.to_dict() for f in findings],
+                    "errors": len(errors),
+                    "warnings": len(findings) - len(errors),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(
+                f"{len(findings)} finding(s): {len(errors)} error(s), "
+                f"{len(findings) - len(errors)} warning(s) in "
+                f"{files_checked} file(s)",
+                file=sys.stderr,
+            )
+    return 1 if errors else 0

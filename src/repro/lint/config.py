@@ -1,0 +1,61 @@
+"""Per-rule and per-run configuration for reprolint.
+
+The defaults encode this repository's determinism contract (see
+``docs/lint_rules.md``); callers — tests, the CLI, future per-project
+config files — override rule enablement, severity, and path allowlists
+through :class:`LintConfig` without touching the rules themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Severity
+
+
+@dataclass(frozen=True, slots=True)
+class RuleConfig:
+    """Overrides for a single rule."""
+
+    enabled: bool = True
+    #: ``None`` keeps the rule's own default severity.
+    severity: Severity | None = None
+    #: Extra fnmatch patterns (posix paths) exempt from this rule, on
+    #: top of the rule's built-in allowlist.
+    allow: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class LintConfig:
+    """One lint run's configuration."""
+
+    #: Per-rule overrides, keyed by rule id (e.g. ``"REP002"``).
+    rules: dict[str, RuleConfig] = field(default_factory=dict)
+    #: Paths matching any of these patterns are "library code": rules
+    #: marked ``library_only`` (determinism/invariant rules that would
+    #: be noise in tests and scripts) only apply there.
+    library_globs: tuple[str, ...] = ("*src/repro/*",)
+    #: When set, only these rule ids run (plus REP000/REP999 meta rules).
+    select: frozenset[str] | None = None
+    #: Rule ids switched off for this run.
+    ignore: frozenset[str] = frozenset()
+
+    _META_RULES = frozenset({"REP000", "REP999"})
+
+    def rule_config(self, rule_id: str) -> RuleConfig:
+        return self.rules.get(rule_id, RuleConfig())
+
+    def is_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if (
+            self.select is not None
+            and rule_id not in self.select
+            and rule_id not in self._META_RULES
+        ):
+            return False
+        return self.rule_config(rule_id).enabled
+
+    def severity_for(self, rule_id: str, default: Severity) -> Severity:
+        override = self.rule_config(rule_id).severity
+        return default if override is None else override

@@ -1,0 +1,258 @@
+"""The reprolint engine: one shared AST walk per file.
+
+Every file is parsed once and walked once; each node is dispatched to
+the rules registered for that node's type (see
+:class:`repro.lint.registry.Rule`).  The walk maintains an ancestor
+stack so rules can ask about their enclosing scope, and the
+:class:`FileContext` centralizes the cross-rule machinery — import
+resolution, per-scope assignment maps, suppression handling — so rules
+stay small and declarative.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path, PurePosixPath
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+from repro.lint.suppress import SuppressionIndex
+
+#: Node types that open a new assignment scope.
+_SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)
+
+
+@dataclass
+class ScopeInfo:
+    """Simple dataflow facts about one function (or module) body.
+
+    ``assignments`` maps a name to the value expression of its last
+    simple ``name = expr`` / ``with expr as name`` binding in the scope;
+    ``nested_functions`` holds the names of functions defined locally
+    (closures — unpicklable, hence interesting to REP030).
+    """
+
+    assignments: dict[str, ast.expr] = field(default_factory=dict)
+    nested_functions: set[str] = field(default_factory=set)
+
+
+class FileContext:
+    """Everything rules may need to know about the file being linted."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, config: LintConfig):
+        self.display_path = path
+        self.posix_path = PurePosixPath(Path(path).as_posix()).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        #: Ancestor chain of the node currently being visited (outermost
+        #: first; does not include the node itself).
+        self.stack: list[ast.AST] = []
+        self.imports: dict[str, str] = {}
+        self.from_imports: dict[str, str] = {}
+        self._collect_imports(tree)
+        self._scopes: dict[ast.AST, ScopeInfo] = {}
+
+    # ------------------------------------------------------------------
+    # Path classification
+    # ------------------------------------------------------------------
+
+    @property
+    def is_library(self) -> bool:
+        """True when the file is library code (``src/repro/`` by default)."""
+        return any(fnmatch(self.posix_path, pat) for pat in self.config.library_globs)
+
+    def matches(self, patterns: tuple[str, ...]) -> bool:
+        return any(fnmatch(self.posix_path, pat) for pat in patterns)
+
+    # ------------------------------------------------------------------
+    # Import-aware name resolution
+    # ------------------------------------------------------------------
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, or ``None``.
+
+        Aliases are unfolded through the file's imports, so
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` regardless of import spelling.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self.from_imports:
+                return self.from_imports[node.id]
+            if node.id in self.imports:
+                return self.imports[node.id]
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Scope helpers
+    # ------------------------------------------------------------------
+
+    def enclosing_scope(self) -> ast.AST:
+        """Innermost function (or the module) containing the current node."""
+        for node in reversed(self.stack):
+            if isinstance(node, _SCOPE_TYPES):
+                return node
+        return self.tree
+
+    def scope_info(self, scope: ast.AST) -> ScopeInfo:
+        """Assignment/closure facts for ``scope`` (computed once, cached)."""
+        info = self._scopes.get(scope)
+        if info is None:
+            info = ScopeInfo()
+            body = getattr(scope, "body", [])
+            if isinstance(body, ast.expr):  # Lambda body is an expression
+                body = []
+            self._collect_scope(body, info)
+            self._scopes[scope] = info
+        return info
+
+    def _collect_scope(self, statements: list[ast.stmt], info: ScopeInfo) -> None:
+        """Walk a statement list without descending into nested scopes."""
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.nested_functions.add(stmt.name)
+                continue  # bindings inside a nested function are its own
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    info.assignments[target.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    info.assignments[stmt.target.id] = stmt.value
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        info.assignments[item.optional_vars.id] = item.context_expr
+            for child_body in ("body", "orelse", "finalbody", "handlers"):
+                children = getattr(stmt, child_body, None)
+                if not children:
+                    continue
+                for child in children:
+                    if isinstance(child, ast.excepthandler):
+                        self._collect_scope(child.body, info)
+                if all(isinstance(c, ast.stmt) for c in children):
+                    self._collect_scope(list(children), info)
+
+    def local_value(self, name: str) -> ast.expr | None:
+        """The expression last assigned to ``name`` in the enclosing scope."""
+        return self.scope_info(self.enclosing_scope()).assignments.get(name)
+
+
+class _Walker:
+    """Single-pass dispatcher: one tree traversal feeds every rule."""
+
+    def __init__(self, ctx: FileContext, rules: list[Rule]) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.dispatch: dict[type[ast.AST], list[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self.dispatch.setdefault(node_type, []).append(rule)
+
+    def walk(self, node: ast.AST) -> None:
+        for rule in self.dispatch.get(type(node), ()):
+            self.findings.extend(rule.check(node, self.ctx))
+        self.ctx.stack.append(node)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child)
+        self.ctx.stack.pop()
+
+
+def _applicable_rules(ctx: FileContext, config: LintConfig) -> list[Rule]:
+    rules: list[Rule] = []
+    for cls in all_rules():
+        if not cls.node_types or not config.is_enabled(cls.id):
+            continue
+        if cls.library_only and not ctx.is_library:
+            continue
+        allow = cls.default_allow + config.rule_config(cls.id).allow
+        if allow and ctx.matches(allow):
+            continue
+        rules.append(cls())
+    return rules
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one unit of Python source; returns findings sorted by position."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="REP999",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path=path, source=source, tree=tree, config=config)
+    walker = _Walker(ctx, _applicable_rules(ctx, config))
+    walker.walk(tree)
+
+    suppressions = SuppressionIndex.from_source(source)
+    findings = suppressions.filter(walker.findings)
+    if config.is_enabled("REP000"):
+        findings.extend(
+            suppressions.unused(
+                path, config.severity_for("REP000", Severity.ERROR)
+            )
+        )
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule_id))
+
+
+def lint_file(path: str | Path, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return lint_source(text, path=str(path), config=config)
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted, deduplicated file list."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" or path.is_file():
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(dict.fromkeys(out))
+
+
+def run_paths(
+    paths: list[str | Path], config: LintConfig | None = None
+) -> tuple[list[Finding], int]:
+    """Lint files/directories; returns ``(findings, files_checked)``."""
+    files = iter_python_files(paths)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(lint_file(file, config=config))
+    return findings, len(files)

@@ -1,0 +1,44 @@
+"""Finding and severity types shared by every reprolint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run (exit code 1); ``WARNING`` findings
+    are reported but do not affect the exit code.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """The canonical ``file:line:col RULE message`` text form."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-report representation."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

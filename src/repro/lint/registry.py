@@ -1,0 +1,78 @@
+"""Rule base class and the global rule registry.
+
+Rules are visitors: each declares the AST node types it wants to see and
+the shared single-pass walker (:mod:`repro.lint.engine`) dispatches every
+node of a file to the rules registered for that node's type.  One walk
+per file, however many rules run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator
+
+from repro.lint.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.lint.engine import FileContext
+
+#: All registered rule classes, keyed by rule id.
+REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes below and implement
+    :meth:`check`; decorating with :func:`register` makes the rule
+    available to the engine and the CLI.
+    """
+
+    #: Stable identifier, e.g. ``"REP001"``.
+    id: ClassVar[str]
+    #: Short kebab-case slug, e.g. ``"unseeded-rng"``.
+    name: ClassVar[str]
+    #: One-line summary for ``--list-rules`` and docs.
+    summary: ClassVar[str]
+    #: Default severity (configurable per run).
+    severity: ClassVar[Severity] = Severity.ERROR
+    #: True restricts the rule to library code (``src/repro/``): the
+    #: determinism contract binds the library, not tests or scripts.
+    library_only: ClassVar[bool] = False
+    #: fnmatch patterns (posix paths) exempt from this rule by default.
+    default_allow: ClassVar[tuple[str, ...]] = ()
+    #: AST node classes this rule wants dispatched to :meth:`check`.
+    node_types: ClassVar[tuple[type[ast.AST], ...]] = ()
+
+    def check(self, node: ast.AST, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield findings for ``node``; called once per matching node."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+    def finding(
+        self, ctx: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node`` with this rule's severity."""
+        return Finding(
+            rule_id=self.id,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=ctx.config.severity_for(self.id, self.severity),
+        )
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (ids must be unique)."""
+    if cls.id in REGISTRY and REGISTRY[cls.id] is not cls:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule, sorted by id (imports the rule modules)."""
+    import repro.lint.rules  # noqa: F401 - registers on import
+
+    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]

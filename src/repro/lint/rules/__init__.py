@@ -1,0 +1,20 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule families:
+
+* ``determinism`` — REP001-REP004: seeded randomness, wall-clock reads,
+  unordered iteration, environment reads.
+* ``numeric`` — REP010-REP011: float equality, mutable defaults.
+* ``invariants`` — REP020-REP021: the paper's Δ-bound/fairness clamping
+  seam and the shedding-policy interface.
+* ``pools`` — REP030: picklability of process-pool callables.
+* ``meta`` — REP000 (unused suppression), REP999 (parse failure).
+"""
+
+from repro.lint.rules import (  # noqa: F401 - imported for registration
+    determinism,
+    invariants,
+    meta,
+    numeric,
+    pools,
+)

@@ -1,0 +1,274 @@
+"""Determinism rules: the same seed and spec must give identical bits.
+
+Everything downstream — the on-disk scenario cache, pool-vs-serial
+equivalence, the fault-injection regression suite — assumes simulation
+output is a pure function of ``(spec, seed)``.  These rules flag the
+classic ways that promise quietly breaks: unseeded or global-state RNGs,
+wall-clock reads, iteration over unordered containers, and environment
+variables steering library behavior.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: numpy legacy global-state API: order-sensitive process-wide state.
+_NP_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "bytes", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "beta", "binomial", "poisson",
+    "exponential", "gamma", "rayleigh", "vonmises", "lognormal",
+    "geometric", "hypergeometric", "laplace", "logistic", "multinomial",
+    "multivariate_normal", "pareto", "power", "triangular", "wald",
+    "weibull", "zipf",
+}
+
+#: stdlib ``random`` module-level functions (hidden shared Random()).
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
+    "getrandbits", "randbytes",
+}
+
+#: RNG constructors that must receive an explicit seed.
+_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+#: Wall-clock reads (flagged as attribute/name references, so both
+#: ``time.time()`` calls and ``timer=time.time`` aliases are caught).
+_CLOCKS = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.today",
+    "datetime.datetime.utcnow", "datetime.date.today",
+}
+
+_ENV_READS = {"os.environ", "os.getenv", "os.environb"}
+
+
+@register
+class UnseededRng(Rule):
+    """Unseeded RNG construction or global-state random APIs.
+
+    ``np.random.default_rng()`` without a seed draws OS entropy; the
+    legacy ``np.random.*`` / ``random.*`` module functions mutate
+    process-wide state that any import can perturb.  Every RNG in
+    library code must be a generator constructed from an explicit seed
+    (or be passed one, like the trace engines do).
+    """
+
+    id = "REP001"
+    name = "unseeded-rng"
+    summary = "unseeded default_rng()/Random() or global np.random/random call"
+    library_only = True
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        qualname = ctx.resolve(node.func)
+        if qualname is None:
+            return
+        if qualname in _RNG_CONSTRUCTORS:
+            seeded = bool(node.args or node.keywords)
+            if node.args and isinstance(node.args[0], ast.Constant):
+                seeded = node.args[0].value is not None
+            if not seeded:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{qualname}() without a seed draws OS entropy; pass an "
+                    "explicit seed so runs are reproducible",
+                )
+            return
+        prefix, _, tail = qualname.rpartition(".")
+        if prefix == "numpy.random" and tail in _NP_LEGACY:
+            yield self.finding(
+                ctx,
+                node,
+                f"numpy.random.{tail} uses numpy's global RNG state; use a "
+                "seeded np.random.default_rng(seed) generator instead",
+            )
+        elif (
+            prefix == "random"
+            and tail in _STDLIB_RANDOM
+            and ctx.imports.get("random") == "random"
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                f"random.{tail} uses the shared module-level RNG; use a "
+                "seeded random.Random(seed) (or numpy generator) instead",
+            )
+
+
+@register
+class WallClockRead(Rule):
+    """Wall-clock reads outside the timing-harness seam.
+
+    A clock read in simulation or algorithm code makes output depend on
+    the host's scheduler.  All timing goes through
+    :mod:`repro.timing` (re-exported by ``repro.metrics.cost``), the one
+    allowlisted module; everything else must take durations as data.
+    """
+
+    id = "REP002"
+    name = "wall-clock-read"
+    summary = "wall-clock read outside the repro.timing harness"
+    default_allow = ("*/repro/timing.py", "repro/timing.py")
+    node_types = (ast.Attribute, ast.Name)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Name):
+            if not isinstance(node.ctx, ast.Load):
+                return
+            qualname = ctx.from_imports.get(node.id)
+        else:
+            assert isinstance(node, ast.Attribute)
+            qualname = ctx.resolve(node)
+        if qualname in _CLOCKS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{qualname} read outside the timing harness; route through "
+                "repro.timing.Stopwatch (see repro.metrics.cost)",
+            )
+
+
+def _is_set_expr(node: ast.AST, ctx: FileContext, _depth: int = 0) -> bool:
+    """True when ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve(node.func) in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, ctx, _depth) or _is_set_expr(
+            node.right, ctx, _depth
+        )
+    if isinstance(node, ast.Name) and _depth < 4:
+        value = ctx.local_value(node.id)
+        if value is not None and value is not node:
+            return _is_set_expr(value, ctx, _depth + 1)
+    return False
+
+
+@register
+class UnorderedIteration(Rule):
+    """Iterating a set where the order can leak into output.
+
+    Set iteration order depends on insertion history and — for strings
+    — on per-process hash randomization, so any ordered artifact built
+    from it (lists, files, report rows) can differ between runs.  Sort
+    first (``sorted(...)`` with an explicit key) or keep insertion
+    order with a dict.  Dict/dict-view iteration is insertion-ordered
+    in Python 3.7+ and is deliberately not flagged.
+    """
+
+    id = "REP003"
+    name = "unordered-iteration"
+    summary = "iteration over a set feeds order-sensitive output"
+    node_types = (ast.For, ast.comprehension, ast.Call)
+
+    #: Callables that materialize their argument's iteration order.
+    _ORDERING_SINKS = ("list", "tuple", "enumerate", "iter", "next")
+
+    #: Reducers whose result does not depend on iteration order: a
+    #: comprehension consumed directly by one of these is safe.
+    _ORDER_INSENSITIVE = (
+        "any", "all", "sum", "max", "min", "len", "sorted", "set",
+        "frozenset", "math.fsum",
+    )
+
+    def _in_order_insensitive_sink(self, ctx: FileContext) -> bool:
+        """True when the visited comprehension feeds an unordered reducer."""
+        if not ctx.stack:
+            return False
+        owner = ctx.stack[-1]  # the GeneratorExp/ListComp/SetComp/DictComp
+        if isinstance(owner, ast.SetComp):
+            return True  # a set built from a set stays unordered
+        if isinstance(owner, (ast.GeneratorExp, ast.ListComp)) and len(ctx.stack) > 1:
+            call = ctx.stack[-2]
+            return (
+                isinstance(call, ast.Call)
+                and bool(call.args)
+                and call.args[0] is owner
+                and ctx.resolve(call.func) in self._ORDER_INSENSITIVE
+            )
+        return False
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.comprehension)):
+            if isinstance(node, ast.comprehension) and self._in_order_insensitive_sink(
+                ctx
+            ):
+                return
+            iterable = node.iter
+            if _is_set_expr(iterable, ctx):
+                yield self.finding(
+                    ctx,
+                    iterable,
+                    "iterating a set: the order is not deterministic across "
+                    "runs; wrap in sorted(...) or use an insertion-ordered "
+                    "dict",
+                )
+        elif isinstance(node, ast.Call):
+            if (
+                ctx.resolve(node.func) in self._ORDERING_SINKS
+                and node.args
+                and _is_set_expr(node.args[0], ctx)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "materializing a set's iteration order; wrap in "
+                    "sorted(...) before building ordered output",
+                )
+
+
+@register
+class EnvironRead(Rule):
+    """``os.environ`` reads outside the documented configuration seams.
+
+    Environment variables are invisible inputs: two runs of the same
+    command can differ without any change to spec or seed.  Only the
+    cache module (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``) and CLI
+    entry points may consult them; library code takes parameters.
+    """
+
+    id = "REP004"
+    name = "environ-read"
+    summary = "os.environ access outside sim/cache.py and CLI entry points"
+    library_only = True
+    default_allow = ("*/repro/sim/cache.py", "*/__main__.py")
+    node_types = (ast.Attribute, ast.Name)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Name):
+            if not isinstance(node.ctx, ast.Load):
+                return
+            qualname = ctx.from_imports.get(node.id)
+        else:
+            assert isinstance(node, ast.Attribute)
+            qualname = ctx.resolve(node)
+        if qualname in _ENV_READS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{qualname} accessed outside the config seams "
+                "(repro.sim.cache, __main__ entry points); pass explicit "
+                "parameters instead",
+            )

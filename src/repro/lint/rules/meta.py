@@ -1,0 +1,33 @@
+"""Meta rules: findings the engine emits itself.
+
+These carry no ``node_types`` — the engine raises them directly — but
+registering them keeps them visible to ``--list-rules`` and
+configurable (severity, ``--ignore``) like any other rule.
+"""
+
+from __future__ import annotations
+
+from repro.lint.registry import Rule, register
+
+
+@register
+class UnusedSuppression(Rule):
+    """A ``# reprolint: disable=...`` comment that masked no finding.
+
+    Suppressions document deliberate exceptions; one that no longer
+    masks anything is stale and hides nothing but information.  Delete
+    it (or fix its rule id / placement).
+    """
+
+    id = "REP000"
+    name = "unused-suppression"
+    summary = "suppression comment masks no finding"
+
+
+@register
+class ParseFailure(Rule):
+    """The file could not be parsed as Python; nothing else was checked."""
+
+    id = "REP999"
+    name = "parse-failure"
+    summary = "file does not parse; no rules were checked"

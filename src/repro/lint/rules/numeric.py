@@ -1,0 +1,104 @@
+"""Numeric-safety rules: float comparisons and mutable defaults."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    # A negated float literal (-1.5) parses as UnaryOp(USub, Constant).
+    return (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and _is_float_literal(node.operand)
+    )
+
+
+@register
+class FloatLiteralEquality(Rule):
+    """``==`` / ``!=`` against a float literal.
+
+    Exact float equality is almost always a rounding-error bug waiting
+    for a different BLAS or optimization level.  The deliberate
+    exceptions in this codebase — exact zero-geometry guards like
+    ``norm == 0.0`` that short-circuit degenerate segments *before* any
+    arithmetic happens — carry explicit, justified suppressions.
+    """
+
+    id = "REP010"
+    name = "float-literal-eq"
+    summary = "float ==/!= against a literal (use tolerances)"
+    library_only = True
+    node_types = (ast.Compare,)
+
+    def check(self, node: ast.Compare, ctx: FileContext) -> Iterator[Finding]:
+        left: ast.AST = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _is_float_literal(left) or _is_float_literal(right)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "exact float comparison against a literal; use a "
+                    "tolerance (math.isclose/np.isclose) or suppress with a "
+                    "justification if the exact-zero guard is intentional",
+                )
+                return  # one finding per comparison chain is enough
+            left = right
+
+
+_MUTABLE_CALLS = (
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "defaultdict",
+    "collections.Counter", "Counter",
+    "collections.deque", "deque",
+    "collections.OrderedDict", "OrderedDict",
+)
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """A mutable default argument: shared state across calls.
+
+    The default is evaluated once at ``def`` time, so every call that
+    omits the argument shares (and mutates) the same object — classic
+    cross-run, cross-test contamination.  Default to ``None`` and
+    materialize inside the function, or use a tuple/frozenset.
+    """
+
+    id = "REP011"
+    name = "mutable-default"
+    summary = "mutable default argument shared across calls"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d]
+        for default in defaults:
+            if self._is_mutable(default, ctx):
+                yield self.finding(
+                    ctx,
+                    default,
+                    "mutable default argument is evaluated once and shared "
+                    "by every call; default to None (or a tuple) instead",
+                )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        return (
+            isinstance(node, ast.Call) and ctx.resolve(node.func) in _MUTABLE_CALLS
+        )

@@ -1,0 +1,100 @@
+"""Process-pool hygiene: callables crossing the pool seam must pickle.
+
+The parallel sweep engine (``repro.experiments.runner``) fans jobs over
+a ``ProcessPoolExecutor``.  Lambdas and locally-defined closures don't
+pickle, so handing one to ``pool.map`` / ``submit`` / the pool
+``initializer`` works in-process (``n_workers=1`` short-circuit, or a
+fork start method that never repickles) and then explodes — or worse,
+silently diverges — on spawn.  Only module-level functions cross the
+seam.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+#: Pool/executor constructors whose workers live in other processes.
+_POOL_CONSTRUCTORS = {
+    "ProcessPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "Pool",
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+}
+
+#: Methods that ship their first positional argument to workers.
+_POOL_METHODS = {
+    "map", "submit", "imap", "imap_unordered", "apply", "apply_async",
+    "starmap", "starmap_async", "map_async",
+}
+
+
+@register
+class UnpicklablePoolCallable(Rule):
+    """Lambda or closure handed to a process-pool seam."""
+
+    id = "REP030"
+    name = "unpicklable-pool-callable"
+    summary = "lambda/closure passed to a process pool cannot pickle"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        func = node.func
+        qualname = ctx.resolve(func)
+        if qualname is not None and qualname.rpartition(".")[2] in (
+            "ProcessPoolExecutor",
+            "Pool",
+        ):
+            if qualname in _POOL_CONSTRUCTORS or qualname.rpartition(".")[0] == "":
+                for kw in node.keywords:
+                    if kw.arg == "initializer" and self._unpicklable(kw.value, ctx):
+                        yield self.finding(
+                            ctx,
+                            kw.value,
+                            "pool initializer must be a module-level function "
+                            "(lambdas/closures do not pickle under spawn)",
+                        )
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _POOL_METHODS
+            and self._is_pool(func.value, ctx)
+            and node.args
+            and self._unpicklable(node.args[0], ctx)
+        ):
+            yield self.finding(
+                ctx,
+                node.args[0],
+                f"callable passed to {func.attr}() on a process pool must "
+                "be module-level: lambdas and nested functions do not "
+                "pickle under the spawn start method",
+            )
+
+    @staticmethod
+    def _is_pool(expr: ast.AST, ctx: FileContext) -> bool:
+        """Heuristic: the receiver is a process pool/executor."""
+        if not isinstance(expr, ast.Name):
+            return False
+        lowered = expr.id.lower()
+        if "pool" in lowered or "executor" in lowered:
+            return True
+        value = ctx.local_value(expr.id)
+        if isinstance(value, ast.Call):
+            qualname = ctx.resolve(value.func)
+            return qualname in _POOL_CONSTRUCTORS
+        return False
+
+    @staticmethod
+    def _unpicklable(expr: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(expr, ast.Lambda):
+            return True
+        if isinstance(expr, ast.Name):
+            scope = ctx.enclosing_scope()
+            if not isinstance(scope, ast.Module):
+                return expr.id in ctx.scope_info(scope).nested_functions
+        return False

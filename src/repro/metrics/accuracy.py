@@ -98,6 +98,8 @@ class FairnessStats:
     @property
     def coefficient_of_variance(self) -> float:
         """C_ov = D_ev / E_rr (0 when the mean error is 0)."""
+        # reprolint: disable=REP010 - C_ov is defined as 0 exactly when
+        # the mean error is exactly 0 (all queries perfect).
         if self.mean == 0.0:
             return 0.0
         return self.std_dev / self.mean

@@ -97,6 +97,8 @@ class RoadNetwork:
     def point_on_segment(self, seg_id: int, offset: float) -> Point:
         """The point ``offset`` meters from endpoint ``a`` along the segment."""
         seg = self.segments[seg_id]
+        # reprolint: disable=REP010 - exact guard for a zero-length
+        # segment before the offset/length division.
         if seg.length == 0.0:
             return self.nodes[seg.a]
         t = min(max(offset / seg.length, 0.0), 1.0)

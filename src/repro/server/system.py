@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
 from repro.core.greedy import RegionStats
-from repro.core.plan import SheddingPlan
+from repro.core.plan import SheddingPlan, clamp_thresholds
 from repro.core.reduction import ReductionFunction
 from repro.faults import FaultInjector
 from repro.geo import Rect
@@ -190,7 +190,9 @@ class LiraSystem:
         return SheddingPlan.from_regions(
             bounds=self.bounds,
             regions=[region],
-            thresholds=np.array([self.config.delta_min]),
+            thresholds=clamp_thresholds(
+                np.array([self.config.delta_min]), self.config
+            ),
             resolution=1,
         )
 

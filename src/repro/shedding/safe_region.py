@@ -39,6 +39,8 @@ def distance_to_rect_boundary(positions: np.ndarray, rect) -> np.ndarray:
         np.minimum(x - rect.x1, rect.x2 - x),
         np.minimum(y - rect.y1, rect.y2 - y),
     )
+    # reprolint: disable=REP010 - dx/dy are np.maximum(..., 0.0) outputs,
+    # so "inside" is an exact comparison against that exact 0.0 clamp.
     inside = (dx == 0.0) & (dy == 0.0)
     return np.where(inside, np.maximum(inside_margin, 0.0), outside)
 

@@ -1,0 +1,70 @@
+"""The one module in this library that reads the wall clock.
+
+Determinism contract (see DESIGN.md): simulation results are a pure
+function of ``(spec, seed)``.  Wall-clock reads anywhere else in
+``src/`` are flagged by reprolint rule REP002 — timing-harness code
+(benchmarks, the paper's server-cost measurements, CLI progress lines)
+imports :class:`Stopwatch` from here (or via :mod:`repro.metrics.cost`)
+instead of touching :mod:`time` directly, which keeps the REP002
+allowlist exactly one file long.
+
+This module deliberately imports nothing from ``repro`` so any layer
+(including ``repro.core``) can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any, Callable
+
+__all__ = ["Stopwatch", "best_wall_seconds", "wall_time_samples"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    ::
+
+        with Stopwatch() as sw:
+            work()
+        print(sw.elapsed)  # seconds
+
+    Re-entering restarts the measurement; ``elapsed`` always holds the
+    most recently completed interval.
+    """
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._started: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._started is not None:
+            self.elapsed = time.perf_counter() - self._started
+            self._started = None
+
+
+def wall_time_samples(fn: Callable[[], Any], repeats: int) -> list[float]:
+    """Wall-clock seconds of ``repeats`` calls to ``fn`` (one per call)."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples: list[float] = []
+    for _ in range(repeats):
+        with Stopwatch() as sw:
+            fn()
+        samples.append(sw.elapsed)
+    return samples
+
+
+def best_wall_seconds(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()`` (bench idiom)."""
+    best = math.inf
+    for sample in wall_time_samples(fn, repeats):
+        best = min(best, sample)
+    return best

@@ -54,6 +54,8 @@ class Vehicle:
         b = network.nodes[seg.other_end(self.origin_node)]
         d = b - a
         norm = d.norm()
+        # reprolint: disable=REP010 - exact guard against a zero-length
+        # segment vector; any nonzero norm, however tiny, divides fine.
         if norm == 0.0:
             return Point(0.0, 0.0)
         return Point(d.x / norm, d.y / norm)

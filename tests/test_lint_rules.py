@@ -1,0 +1,539 @@
+"""Tests for the reprolint static-analysis framework.
+
+Each rule gets a fixture pair — a snippet that must trigger it and a
+nearby clean snippet that must not — linted through the real engine so
+the shared-walk dispatch, suppression handling, and severity plumbing
+are all exercised.  The suite ends with the self-check: the repository's
+own ``src``, ``tests``, and ``scripts`` trees must lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, Severity, all_rules, lint_source, run_paths
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+LIBRARY_PATH = "src/repro/example.py"
+
+
+def lint(source: str, path: str = LIBRARY_PATH, config: LintConfig | None = None):
+    return lint_source(textwrap.dedent(source), path=path, config=config)
+
+
+def rule_ids(source: str, path: str = LIBRARY_PATH) -> list[str]:
+    return [f.rule_id for f in lint(source, path=path)]
+
+
+class TestRegistry:
+    def test_all_rules_sorted_and_unique(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_expected_rule_catalog(self):
+        ids = {r.id for r in all_rules()}
+        assert {
+            "REP000",
+            "REP001",
+            "REP002",
+            "REP003",
+            "REP004",
+            "REP010",
+            "REP011",
+            "REP020",
+            "REP021",
+            "REP030",
+            "REP999",
+        } <= ids
+
+
+class TestRep001UnseededRng:
+    def test_flags_unseeded_default_rng(self):
+        assert "REP001" in rule_ids(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        )
+
+    def test_flags_legacy_global_state(self):
+        assert "REP001" in rule_ids(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """
+        )
+
+    def test_clean_when_seeded(self):
+        assert "REP001" not in rule_ids(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            """
+        )
+
+    def test_library_only(self):
+        source = """
+        import numpy as np
+        rng = np.random.default_rng()
+        """
+        assert "REP001" not in [
+            f.rule_id for f in lint(source, path="scripts/example.py")
+        ]
+
+
+class TestRep002WallClock:
+    def test_flags_time_time(self):
+        assert "REP002" in rule_ids(
+            """
+            import time
+            t = time.time()
+            """
+        )
+
+    def test_flags_from_import(self):
+        assert "REP002" in rule_ids(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """
+        )
+
+    def test_timing_module_is_allowlisted(self):
+        source = """
+        import time
+        t = time.perf_counter()
+        """
+        assert "REP002" not in [
+            f.rule_id for f in lint(source, path="src/repro/timing.py")
+        ]
+
+    def test_monotonic_clock_still_flagged(self):
+        assert "REP002" in rule_ids(
+            """
+            import time
+            t = time.monotonic()
+            """
+        )
+
+
+class TestRep003UnorderedIteration:
+    def test_flags_for_over_set_literal(self):
+        assert "REP003" in rule_ids(
+            """
+            for item in {1, 2, 3}:
+                print(item)
+            """
+        )
+
+    def test_flags_list_of_set(self):
+        assert "REP003" in rule_ids(
+            """
+            values = list({1, 2, 3})
+            """
+        )
+
+    def test_flags_dict_values_via_local_set(self):
+        assert "REP003" in rule_ids(
+            """
+            seen = {1, 2}
+            for item in seen:
+                print(item)
+            """
+        )
+
+    def test_sorted_iteration_is_clean(self):
+        assert "REP003" not in rule_ids(
+            """
+            for item in sorted({1, 2, 3}):
+                print(item)
+            """
+        )
+
+    def test_order_insensitive_sink_is_clean(self):
+        assert "REP003" not in rule_ids(
+            """
+            names = {"a", "b"}
+            ok = any(n.startswith("a") for n in names)
+            total = sum(len(n) for n in names)
+            """
+        )
+
+
+class TestRep004EnvironRead:
+    def test_flags_environ_subscript(self):
+        assert "REP004" in rule_ids(
+            """
+            import os
+            home = os.environ["HOME"]
+            """
+        )
+
+    def test_flags_getenv(self):
+        assert "REP004" in rule_ids(
+            """
+            import os
+            level = os.getenv("LEVEL", "1")
+            """
+        )
+
+    def test_cache_module_is_allowlisted(self):
+        source = """
+        import os
+        root = os.environ.get("REPRO_CACHE_DIR")
+        """
+        assert "REP004" not in [
+            f.rule_id for f in lint(source, path="src/repro/sim/cache.py")
+        ]
+
+    def test_cli_entry_point_is_allowlisted(self):
+        source = """
+        import os
+        jobs = os.getenv("REPRO_JOBS")
+        """
+        assert "REP004" not in [
+            f.rule_id for f in lint(source, path="src/repro/experiments/__main__.py")
+        ]
+
+
+class TestRep010FloatEquality:
+    def test_flags_float_literal_equality(self):
+        assert "REP010" in rule_ids(
+            """
+            def check(x: float) -> bool:
+                return x == 0.5
+            """
+        )
+
+    def test_flags_not_equal_and_negative_literals(self):
+        assert "REP010" in rule_ids(
+            """
+            def check(x: float) -> bool:
+                return x != -1.0
+            """
+        )
+
+    def test_integer_literal_equality_is_clean(self):
+        assert "REP010" not in rule_ids(
+            """
+            def check(x: int) -> bool:
+                return x == 0
+            """
+        )
+
+    def test_isclose_is_clean(self):
+        assert "REP010" not in rule_ids(
+            """
+            import math
+
+            def check(x: float) -> bool:
+                return math.isclose(x, 0.5)
+            """
+        )
+
+
+class TestRep011MutableDefault:
+    def test_flags_list_default(self):
+        assert "REP011" in rule_ids(
+            """
+            def collect(items=[]):
+                return items
+            """
+        )
+
+    def test_flags_dict_call_default(self):
+        assert "REP011" in rule_ids(
+            """
+            from collections import defaultdict
+
+            def tally(counts=defaultdict(int)):
+                return counts
+            """
+        )
+
+    def test_none_and_tuple_defaults_are_clean(self):
+        assert "REP011" not in rule_ids(
+            """
+            def collect(items=None, pair=(1, 2)):
+                return items, pair
+            """
+        )
+
+
+class TestRep020UnclampedPlan:
+    def test_flags_hand_built_thresholds(self):
+        assert "REP020" in rule_ids(
+            """
+            import numpy as np
+            from repro.core.plan import SheddingPlan
+
+            def build(bounds, regions):
+                thresholds = np.array([5.0, 10.0])
+                return SheddingPlan.from_regions(bounds, regions, thresholds, 8)
+            """
+        )
+
+    def test_clamped_thresholds_are_clean(self):
+        assert "REP020" not in rule_ids(
+            """
+            import numpy as np
+            from repro.core.plan import SheddingPlan, clamp_thresholds
+
+            def build(bounds, regions, config):
+                thresholds = clamp_thresholds(np.array([5.0, 10.0]), config)
+                return SheddingPlan.from_regions(bounds, regions, thresholds, 8)
+            """
+        )
+
+    def test_greedy_increment_result_is_clean(self):
+        assert "REP020" not in rule_ids(
+            """
+            from repro.core.greedy import greedy_increment
+            from repro.core.plan import SheddingPlan
+
+            def build(bounds, regions, reduction, z):
+                result = greedy_increment(regions, reduction, z)
+                return SheddingPlan.from_regions(
+                    bounds, regions, result.thresholds, 8
+                )
+            """
+        )
+
+
+class TestRep021PolicyInterface:
+    def test_flags_undeclared_policy_shape(self):
+        assert "REP021" in rule_ids(
+            """
+            class ShadowPolicyLike:
+                def adapt(self, grid, z):
+                    pass
+
+                def thresholds_for(self, positions):
+                    return positions
+            """
+        )
+
+    def test_subclassing_shedding_policy_is_clean(self):
+        assert "REP021" not in rule_ids(
+            """
+            from repro.shedding.policy import SheddingPolicy
+
+            class UniformPolicy(SheddingPolicy):
+                def adapt(self, grid, z):
+                    pass
+
+                def thresholds_for(self, positions):
+                    return positions
+            """
+        )
+
+
+class TestRep030PoolCallables:
+    def test_flags_lambda_in_pool_map(self):
+        assert "REP030" in rule_ids(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(lambda x: x * 2, items))
+            """
+        )
+
+    def test_flags_nested_function_submitted(self):
+        assert "REP030" in rule_ids(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(items):
+                def job(x):
+                    return x * 2
+
+                with ProcessPoolExecutor() as pool:
+                    return [pool.submit(job, x) for x in items]
+            """
+        )
+
+    def test_module_level_function_is_clean(self):
+        assert "REP030" not in rule_ids(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def job(x):
+                return x * 2
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(job, items))
+            """
+        )
+
+
+class TestSuppressions:
+    def test_trailing_suppression_masks_finding(self):
+        findings = lint(
+            """
+            def check(x: float) -> bool:
+                return x == 0.0  # reprolint: disable=REP010 - exact zero guard
+            """
+        )
+        assert [f.rule_id for f in findings] == []
+
+    def test_standalone_suppression_skips_comment_continuation(self):
+        findings = lint(
+            """
+            def check(x: float) -> bool:
+                # reprolint: disable=REP010 - exact guard, with a wrapped
+                # justification spilling onto a second comment line.
+                return x == 0.0
+            """
+        )
+        assert [f.rule_id for f in findings] == []
+
+    def test_unused_suppression_is_reported(self):
+        findings = lint(
+            """
+            def check(x: int) -> bool:
+                return x == 0  # reprolint: disable=REP010
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REP000"]
+        assert findings[0].severity is Severity.ERROR
+
+    def test_suppression_only_masks_named_rule(self):
+        findings = lint(
+            """
+            def check(x: float) -> bool:
+                return x == 0.0  # reprolint: disable=REP011
+            """
+        )
+        assert sorted(f.rule_id for f in findings) == ["REP000", "REP010"]
+
+
+class TestParseFailure:
+    def test_syntax_error_yields_rep999(self):
+        findings = lint("def broken(:\n    pass\n")
+        assert [f.rule_id for f in findings] == ["REP999"]
+        assert findings[0].line >= 1
+
+
+class TestFindingFormat:
+    def test_text_format_is_path_line_col_rule(self):
+        findings = lint(
+            """
+            import time
+            t = time.time()
+            """
+        )
+        rep002 = [f for f in findings if f.rule_id == "REP002"]
+        assert rep002
+        text = rep002[0].format()
+        assert text.startswith(f"{LIBRARY_PATH}:3:")
+        assert " REP002 " in text
+
+
+class TestCli:
+    def _write(self, tmp_path: Path, name: str, body: str) -> Path:
+        target = tmp_path / name
+        target.write_text(textwrap.dedent(body))
+        return target
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = self._write(tmp_path, "clean.py", "x = 1\n")
+        assert lint_main([str(target)]) == 0
+
+    def test_violations_exit_one_with_location_lines(self, tmp_path, capsys):
+        target = self._write(
+            tmp_path,
+            "dirty.py",
+            """
+            import time
+
+            def stamp(acc=[]):
+                acc.append(time.time())
+                return acc
+            """,
+        )
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"{target}:5:" in out
+        assert "REP002" in out
+        assert "REP011" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        target = self._write(
+            tmp_path,
+            "dirty.py",
+            """
+            import time
+            t = time.time()
+            """,
+        )
+        assert lint_main(["--format", "json", str(target)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["files_checked"] == 1
+        assert report["errors"] >= 1
+        assert report["findings"][0]["rule"] == "REP002"
+
+    def test_select_filters_rules(self, tmp_path, capsys):
+        target = self._write(
+            tmp_path,
+            "dirty.py",
+            """
+            import time
+
+            def stamp(acc=[]):
+                acc.append(time.time())
+                return acc
+            """,
+        )
+        assert lint_main(["--select", "REP011", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "REP011" in out
+        assert "REP002" not in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        target = self._write(tmp_path, "clean.py", "x = 1\n")
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--select", "REP777", str(target)])
+        assert excinfo.value.code == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "REP030" in out
+
+
+class TestSelfCheck:
+    """The repository's own code must satisfy its own linter."""
+
+    def test_repository_lints_clean(self):
+        findings, files_checked = run_paths(
+            [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "scripts"]
+        )
+        assert files_checked > 50
+        assert [f.format() for f in findings] == []
+
+    def test_module_entry_point_exits_zero(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
