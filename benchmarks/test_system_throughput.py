@@ -3,14 +3,18 @@
 Not a paper figure — an engineering artifact: how many simulated
 seconds per wall-clock second the complete component path (node
 protocol -> dead reckoning -> bounded queue -> node table -> history)
-sustains at bench scale.
+sustains at bench scale, for both node-side engines (the vectorized
+SoA default and the per-``MobileNode`` reference loop).
 """
 
+import pytest
+
 from repro.core import AnalyticReduction, LiraConfig
-from repro.server import LiraSystem
+from repro.server import NODE_ENGINES, LiraSystem
 
 
-def test_full_system_tick_throughput(benchmark, bench_scale):
+@pytest.mark.parametrize("engine", NODE_ENGINES)
+def test_full_system_tick_throughput(benchmark, bench_scale, engine):
     scenario = bench_scale.scenario()
     trace = scenario.trace
     system = LiraSystem(
@@ -22,6 +26,7 @@ def test_full_system_tick_throughput(benchmark, bench_scale):
         service_rate=10_000.0,
         station_radius=1500.0,
         adaptive_throttle=False,
+        engine=engine,
     )
     system.shedder.set_throttle_fraction(0.5)
     system.bootstrap(trace.positions[0], trace.velocities[0])

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf regression harness: run the hot-path benchmarks, emit BENCH_2.json.
+"""Perf regression harness: run the hot-path benchmarks, emit BENCH_4.json.
 
 Collects four kinds of evidence:
 
@@ -17,12 +17,16 @@ Collects four kinds of evidence:
 5. Fault-injection seam: the SMALL systems loop without any injector,
    with a null-spec injector (must be free — it takes the same code
    path), and under a lossy spec (the cost of actually injecting).
+6. Systems loop: per-tick cost of the full ``LiraSystem`` at the
+   paper's N=2000 population, object vs vectorized node engine, plus a
+   vectorized-only N=100k demonstration run (positions synthesized
+   directly so no 100k-vehicle road trace is needed).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_3.json]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_4.json]
         [--skip-micro] [--skip-macro] [--skip-trace] [--skip-cache]
-        [--skip-faults]
+        [--skip-faults] [--skip-systems]
 
 The output schema is stable so future PRs can diff their numbers
 against this file (see ``schema``).
@@ -245,6 +249,106 @@ def run_faults_bench(repeats: int = 3) -> dict:
     }
 
 
+def run_systems_loop_bench(repeats: int = 3) -> dict:
+    """Per-tick systems-loop cost: object vs vectorized node engine.
+
+    Node positions are synthesized directly over the paper's 14 km
+    monitoring square (no road network), so the timing isolates the
+    node-side engine + batched server ingest and the N=100k
+    demonstration needs no 100k-vehicle trace.  Both engines consume
+    the *same* position frames, and at N=2000 the vectorized system's
+    stats are asserted equal to the object system's — the speedup is
+    only meaningful if the two runs did identical work.
+    """
+    import numpy as np
+
+    from repro.core import AnalyticReduction, LiraConfig
+    from repro.geo import Rect
+    from repro.metrics.cost import Stopwatch
+    from repro.queries import QueryDistribution, generate_workload
+    from repro.server import LiraSystem
+
+    side, dt = 14_000.0, 10.0
+
+    def frames_for(n_nodes, n_ticks, seed):
+        rng = np.random.default_rng(seed)
+        positions = rng.uniform(0.0, side, (n_nodes, 2))
+        velocities = rng.uniform(-30.0, 30.0, (n_nodes, 2))
+        frames = []
+        p = positions
+        for _ in range(n_ticks):
+            frames.append(p)
+            p = np.clip(p + velocities * dt, 0.0, side)
+        return frames, velocities
+
+    def run(engine, frames, velocities):
+        n_nodes = velocities.shape[0]
+        bounds = Rect(0.0, 0.0, side, side)
+        queries = generate_workload(
+            bounds, 16, 500.0, QueryDistribution.PROPORTIONAL,
+            frames[0], seed=17,
+        )
+        system = LiraSystem(
+            bounds=bounds,
+            n_nodes=n_nodes,
+            queries=queries,
+            reduction=AnalyticReduction(5.0, 100.0),
+            config=LiraConfig(l=13, alpha=32),
+            service_rate=10.0 * n_nodes,
+            station_radius=1500.0,
+            adaptive_throttle=False,
+            engine=engine,
+        )
+        system.shedder.set_throttle_fraction(0.5)
+        system.bootstrap(frames[0], velocities)
+        system.adapt(frames[0], np.hypot(velocities[:, 0], velocities[:, 1]))
+        with Stopwatch() as stopwatch:
+            for tick, positions in enumerate(frames):
+                system.tick(tick * dt, positions, velocities, dt)
+        stats = system.stats()
+        assert stats.updates_sent > 0
+        return stopwatch.elapsed / len(frames), stats
+
+    # N=2000 (the paper's population): object vs vector, identical frames.
+    frames, velocities = frames_for(2000, 30, seed=17)
+    object_tick = min(
+        run("object", frames, velocities)[0] for _ in range(repeats)
+    )
+    vector_tick, vector_stats = min(
+        (run("vector", frames, velocities) for _ in range(repeats)),
+        key=lambda pair: pair[0],
+    )
+    _, object_stats = run("object", frames, velocities)
+    if object_stats != vector_stats:
+        raise RuntimeError(
+            "engines diverged at N=2000: "
+            f"object={object_stats} vector={vector_stats}"
+        )
+
+    # N=100k demonstration: vectorized engine only (the object loop at
+    # this scale is exactly what this PR removes from the hot path).
+    big_frames, big_velocities = frames_for(100_000, 10, seed=18)
+    big_tick, big_stats = run("vector", big_frames, big_velocities)
+
+    return {
+        "n2000": {
+            "n_nodes": 2000,
+            "ticks": len(frames),
+            "object_tick_ms": round(object_tick * 1e3, 3),
+            "vector_tick_ms": round(vector_tick * 1e3, 3),
+            "speedup_vector_vs_object": round(object_tick / vector_tick, 2),
+            "stats_identical": True,
+        },
+        "n100k": {
+            "n_nodes": 100_000,
+            "ticks": len(big_frames),
+            "vector_tick_ms": round(big_tick * 1e3, 3),
+            "updates_sent": big_stats.updates_sent,
+            "handoffs": big_stats.handoffs,
+        },
+    }
+
+
 def machine_info() -> dict:
     import numpy
 
@@ -258,18 +362,19 @@ def machine_info() -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_3.json"))
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_4.json"))
     parser.add_argument("--skip-micro", action="store_true")
     parser.add_argument("--skip-macro", action="store_true")
     parser.add_argument("--skip-trace", action="store_true")
     parser.add_argument("--skip-cache", action="store_true")
     parser.add_argument("--skip-faults", action="store_true")
+    parser.add_argument("--skip-systems", action="store_true")
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args()
 
     report = {
-        "schema": "lira-bench/3",
-        "recorded": "2026-08-06",
+        "schema": "lira-bench/4",
+        "recorded": "2026-08-07",
         "machine": machine_info(),
     }
     if not args.skip_micro:
@@ -293,6 +398,10 @@ def main() -> None:
         report["scenario_cache"] = run_cache_bench(repeats=max(args.repeats, 3))
     if not args.skip_faults:
         report["fault_injection"] = run_faults_bench(repeats=max(args.repeats, 3))
+    if not args.skip_systems:
+        report["systems_loop"] = run_systems_loop_bench(
+            repeats=max(args.repeats, 3)
+        )
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

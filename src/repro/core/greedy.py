@@ -126,6 +126,13 @@ def greedy_increment(
 
     if fairness is not None and fairness <= 0.0:
         return _uniform_solution(pw, z, weights, m)
+    # Resolution floor: a positive Δ⇔ far below the Δ domain forces the
+    # march into lockstep — every round advances all l regions by Δ⇔, so
+    # reaching the optimum takes O((Δ⊣ - Δ⊢) / Δ⇔ · l) heap operations
+    # (unbounded as Δ⇔ → 0) to refine the uniform solution by less than
+    # the floor itself.  Treat such spacings as the Δ⇔ = 0 limit.
+    if fairness is not None and fairness < (d_max - d_min) * 1e-4:
+        return _uniform_solution(pw, z, weights, m)
 
     deltas = np.full(l, d_min, dtype=np.float64)
     expenditure = total_weight

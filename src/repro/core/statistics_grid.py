@@ -188,6 +188,28 @@ class StatisticsGrid:
         self._acc_speed[i, j] += speed
         self._acc_updates += 1
 
+    def ingest_updates(
+        self, xs: np.ndarray, ys: np.ndarray, speeds: np.ndarray
+    ) -> None:
+        """Batched :meth:`ingest_update`: account a whole update batch.
+
+        ``np.add.at`` applies the unbuffered accumulations in element
+        order, so the resulting accumulators are bit-identical to
+        calling :meth:`ingest_update` once per message in batch order.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        speeds = np.asarray(speeds, dtype=np.float64)
+        if xs.size == 0:
+            return
+        i = ((xs - self.bounds.x1) / self._cell_w).astype(np.int64)
+        j = ((ys - self.bounds.y1) / self._cell_h).astype(np.int64)
+        np.clip(i, 0, self.alpha - 1, out=i)
+        np.clip(j, 0, self.alpha - 1, out=j)
+        np.add.at(self._acc_count, (i, j), 1.0)
+        np.add.at(self._acc_speed, (i, j), speeds)
+        self._acc_updates += int(xs.size)
+
     def roll(self, expected_updates_per_node: float = 1.0) -> None:
         """Swap the accumulation window into the live statistics.
 

@@ -28,7 +28,6 @@ no injector at all.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -166,9 +165,16 @@ class FaultInjector:
         self._server_rng = np.random.default_rng(server_seq)
         self._churn_rng = np.random.default_rng(churn_seq)
         self.counters = FaultCounters()
-        #: In-flight delayed uplink messages: (arrival_t, seq, send_t,
-        #: node_id, x, y, vx, vy).
-        self._in_flight: list[tuple] = []
+        #: In-flight delayed uplink messages, struct-of-arrays:
+        #: (arrival_t, seq, send_t, node_id, position, velocity).
+        #: Maturity order is (arrival_t, seq) ascending — identical to
+        #: the min-heap of per-message tuples this buffer replaces.
+        self._flight_arrival = np.empty(0, dtype=np.float64)
+        self._flight_seq = np.empty(0, dtype=np.int64)
+        self._flight_send_t = np.empty(0, dtype=np.float64)
+        self._flight_ids = np.empty(0, dtype=np.int64)
+        self._flight_pos = np.empty((0, 2), dtype=np.float64)
+        self._flight_vel = np.empty((0, 2), dtype=np.float64)
         self._seq = 0
         self._slow_until = -np.inf
         self._active: np.ndarray | None = None
@@ -209,53 +215,67 @@ class FaultInjector:
         delayed = np.zeros(n, dtype=bool)
         if n and spec.uplink_delay > 0:
             delayed = keep & (self._uplink_rng.random(n) < spec.uplink_delay)
-            self.counters.uplink_delayed += int(delayed.sum())
+            n_delayed = int(delayed.sum())
+            self.counters.uplink_delayed += n_delayed
             lo, hi = spec.uplink_delay_range
-            arrivals = t + self._uplink_rng.uniform(lo, hi, size=int(delayed.sum()))
-            for arrival, k in zip(arrivals, np.flatnonzero(delayed)):
-                heapq.heappush(
-                    self._in_flight,
-                    (
-                        float(arrival),
-                        self._seq,
-                        t,
-                        int(node_ids[k]),
-                        float(positions[k, 0]),
-                        float(positions[k, 1]),
-                        float(velocities[k, 0]),
-                        float(velocities[k, 1]),
-                    ),
+            arrivals = t + self._uplink_rng.uniform(lo, hi, size=n_delayed)
+            if n_delayed:
+                held = np.flatnonzero(delayed)
+                self._flight_arrival = np.concatenate(
+                    [self._flight_arrival, arrivals]
                 )
-                self._seq += 1
+                self._flight_seq = np.concatenate(
+                    [
+                        self._flight_seq,
+                        np.arange(self._seq, self._seq + n_delayed, dtype=np.int64),
+                    ]
+                )
+                self._flight_send_t = np.concatenate(
+                    [self._flight_send_t, np.full(n_delayed, t, dtype=np.float64)]
+                )
+                self._flight_ids = np.concatenate(
+                    [self._flight_ids, node_ids[held]]
+                )
+                self._flight_pos = np.concatenate(
+                    [self._flight_pos, np.asarray(positions, dtype=np.float64)[held]]
+                )
+                self._flight_vel = np.concatenate(
+                    [self._flight_vel, np.asarray(velocities, dtype=np.float64)[held]]
+                )
+                self._seq += n_delayed
         immediate = keep & ~delayed
 
-        matured: list[tuple] = []
-        while self._in_flight and self._in_flight[0][0] <= t:
-            matured.append(heapq.heappop(self._in_flight))
+        mature = self._flight_arrival <= t
+        if mature.any():
+            order = np.lexsort(
+                (self._flight_seq[mature], self._flight_arrival[mature])
+            )
+            matured_ids = self._flight_ids[mature][order]
+            matured_pos = self._flight_pos[mature][order]
+            matured_vel = self._flight_vel[mature][order]
+            matured_times = self._flight_send_t[mature][order]
+            still = ~mature
+            self._flight_arrival = self._flight_arrival[still]
+            self._flight_seq = self._flight_seq[still]
+            self._flight_send_t = self._flight_send_t[still]
+            self._flight_ids = self._flight_ids[still]
+            self._flight_pos = self._flight_pos[still]
+            self._flight_vel = self._flight_vel[still]
+        else:
+            matured_ids = np.empty(0, dtype=np.int64)
+            matured_pos = np.empty((0, 2), dtype=np.float64)
+            matured_vel = np.empty((0, 2), dtype=np.float64)
+            matured_times = np.empty(0, dtype=np.float64)
 
-        ids = np.concatenate(
-            [
-                np.array([m[3] for m in matured], dtype=np.int64),
-                node_ids[immediate],
-            ]
-        )
+        ids = np.concatenate([matured_ids, node_ids[immediate]])
         pos = np.concatenate(
-            [
-                np.array([[m[4], m[5]] for m in matured], dtype=np.float64).reshape(-1, 2),
-                positions[immediate],
-            ]
+            [matured_pos, np.asarray(positions, dtype=np.float64)[immediate]]
         )
         vel = np.concatenate(
-            [
-                np.array([[m[6], m[7]] for m in matured], dtype=np.float64).reshape(-1, 2),
-                velocities[immediate],
-            ]
+            [matured_vel, np.asarray(velocities, dtype=np.float64)[immediate]]
         )
         times = np.concatenate(
-            [
-                np.array([m[2] for m in matured], dtype=np.float64),
-                np.full(int(immediate.sum()), t, dtype=np.float64),
-            ]
+            [matured_times, np.full(int(immediate.sum()), t, dtype=np.float64)]
         )
         if (
             ids.size > 1
@@ -271,7 +291,7 @@ class FaultInjector:
     @property
     def uplink_in_flight(self) -> int:
         """Delayed update messages not yet delivered."""
-        return len(self._in_flight)
+        return int(self._flight_ids.size)
 
     # ------------------------------------------------------------------
     # Downlink: server -> base-station plan broadcasts

@@ -10,20 +10,31 @@ from repro.server.base_station import (
     place_uniform_stations,
 )
 from repro.server.cq_server import LoadMeasurement, MobileCQServer, UpdateMessage
+from repro.server.node_engine import (
+    NODE_ENGINES,
+    ObjectNodeEngine,
+    StationAssigner,
+    VectorNodeEngine,
+)
 from repro.server.protocol import (
     BaseStationNetwork,
     MobileNode,
     RegionSubset,
 )
-from repro.server.queue import BoundedQueue
+from repro.server.queue import ArrayBoundedQueue, BoundedQueue
 from repro.server.system import LiraSystem, SystemStats
 
 __all__ = [
+    "ArrayBoundedQueue",
     "BaseStationNetwork",
     "LiraSystem",
     "MobileNode",
+    "NODE_ENGINES",
+    "ObjectNodeEngine",
     "RegionSubset",
+    "StationAssigner",
     "SystemStats",
+    "VectorNodeEngine",
     "BYTES_PER_REGION",
     "BaseStation",
     "BoundedQueue",

@@ -20,7 +20,7 @@ from repro.geo import Rect
 from repro.index import NodeTable
 from repro.queries import RangeQuery
 from repro.core.statistics_grid import StatisticsGrid
-from repro.server.queue import BoundedQueue
+from repro.server.queue import ArrayBoundedQueue, BoundedQueue
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +81,12 @@ class MobileCQServer:
         queue_capacity: B, the input-queue size (Section 3.4).
         stats_alpha: side cell count of the maintained statistics grid;
             ``None`` disables statistics maintenance.
+        batch_ingest: store queued updates as struct-of-arrays chunks
+            (:class:`~repro.server.queue.ArrayBoundedQueue`) and apply
+            them to the node table / statistics grid as array
+            operations.  Bit-identical to the per-message path —
+            admission lottery draws, FIFO overflow drops, newest-wins
+            staleness discards, and every counter agree exactly.
     """
 
     def __init__(
@@ -92,13 +98,19 @@ class MobileCQServer:
         queue_capacity: int = 100,
         stats_alpha: int | None = None,
         incremental: bool = False,
+        batch_ingest: bool = False,
     ) -> None:
         if service_rate <= 0:
             raise ValueError("service_rate must be positive")
         self.bounds = bounds
         self.queries = list(queries)
         self.service_rate = service_rate
-        self.queue = BoundedQueue(queue_capacity)
+        self.batch_ingest = batch_ingest
+        self.queue: ArrayBoundedQueue | BoundedQueue = (
+            ArrayBoundedQueue(queue_capacity)
+            if batch_ingest
+            else BoundedQueue(queue_capacity)
+        )
         self.table = NodeTable(n_nodes)
         self.stats_grid = (
             StatisticsGrid(bounds, stats_alpha) if stats_alpha else None
@@ -147,6 +159,10 @@ class MobileCQServer:
             if admit_rng is None:
                 raise ValueError("admit_fraction < 1 requires admit_rng")
             admitted_mask = admit_rng.random(node_ids.size) < admit_fraction
+        if self.batch_ingest:
+            return self._receive_batch(
+                t, node_ids, positions, velocities, times, admitted_mask
+            )
         admitted = 0
         for k, node_id in enumerate(node_ids):
             if admitted_mask is not None and not admitted_mask[k]:
@@ -166,6 +182,35 @@ class MobileCQServer:
         self._period_arrivals += len(node_ids)
         return admitted
 
+    def _receive_batch(
+        self,
+        t: float,
+        node_ids: np.ndarray,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        times: np.ndarray | None,
+        admitted_mask: np.ndarray | None,
+    ) -> int:
+        """Array-path twin of the ``receive_reports`` message loop."""
+        assert isinstance(self.queue, ArrayBoundedQueue)
+        arrivals = int(node_ids.size)
+        positions = np.asarray(positions, dtype=np.float64)
+        velocities = np.asarray(velocities, dtype=np.float64)
+        if admitted_mask is not None:
+            shed = arrivals - int(admitted_mask.sum())
+            self._period_shed += shed
+            self.total_admission_dropped += shed
+            node_ids = node_ids[admitted_mask]
+            positions = positions[admitted_mask]
+            velocities = velocities[admitted_mask]
+            if times is not None:
+                times = np.asarray(times, dtype=np.float64)[admitted_mask]
+        if times is None:
+            times = np.full(node_ids.size, t, dtype=np.float64)
+        admitted = self.queue.offer_arrays(times, node_ids, positions, velocities)
+        self._period_arrivals += arrivals
+        return admitted
+
     def process(self, dt: float, rate_factor: float = 1.0) -> int:
         """Serve the queue for ``dt`` seconds of processing capacity.
 
@@ -182,6 +227,8 @@ class MobileCQServer:
             raise ValueError("rate_factor must be non-negative")
         self._service_credit += self.service_rate * rate_factor * dt
         budget = int(self._service_credit)
+        if self.batch_ingest:
+            return self._process_batch(budget, dt)
         batch = self.queue.poll_batch(budget)
         self._service_credit -= len(batch)
         if batch:
@@ -201,6 +248,31 @@ class MobileCQServer:
         self._period_processed += len(batch)
         self._period_time += dt
         return len(batch)
+
+    def _process_batch(self, budget: int, dt: float) -> int:
+        """Array-path twin of the ``process`` service loop.
+
+        Dequeued updates hit the node table grouped by distinct report
+        time in ascending order — exactly the object path's
+        ``sorted(set(times))`` grouping, which both preserves staleness
+        and lets the table's vectorized newest-wins timestamp compare
+        discard out-of-order deliveries identically.
+        """
+        assert isinstance(self.queue, ArrayBoundedQueue)
+        times, ids, pos, vel = self.queue.poll_arrays(budget)
+        count = int(ids.size)
+        self._service_credit -= count
+        if count:
+            for report_t in np.unique(times):
+                mask = times == report_t
+                self.table.ingest(float(report_t), ids[mask], pos[mask], vel[mask])
+            if self.stats_grid is not None:
+                self.stats_grid.ingest_updates(
+                    pos[:, 0], pos[:, 1], np.hypot(vel[:, 0], vel[:, 1])
+                )
+        self._period_processed += count
+        self._period_time += dt
+        return count
 
     def evaluate_queries(self, t: float) -> list[np.ndarray]:
         """Result sets from the server's *believed* positions at time ``t``.

@@ -1,0 +1,450 @@
+"""Vectorized node-side engine for the systems loop.
+
+:class:`~repro.server.system.LiraSystem.tick` must, every sampling
+period, answer two questions for the whole population: *which base
+station serves each node?* (hand-off + subset download bookkeeping) and
+*which update throttler Δ applies at each node's position?*  The
+reference implementation walks a Python list of
+:class:`~repro.server.protocol.MobileNode` objects, scanning the
+station list and probing a per-node 5×5 grid index — an O(N)
+interpreted loop that dominates the systems-loop runtime.
+
+This module provides two interchangeable engines behind one interface:
+
+* :class:`ObjectNodeEngine` — the original per-``MobileNode`` loop; the
+  reference implementation the vectorized engine is validated against.
+* :class:`VectorNodeEngine` — struct-of-arrays node state (current
+  station slot, installed subset version, hand-off / install counters)
+  with two batched lookups per tick:
+
+  1. **station assignment** via a precomputed *candidate raster* over
+     the monitoring bounds: each raster cell stores the small set of
+     stations that could possibly serve any point inside it (covering
+     candidates by disk–cell distance, nearest-overall candidates by
+     the min/max-distance pruning bound), so the per-node resolution is
+     an exact argmin over a handful of gathered candidates instead of a
+     scan of every station;
+  2. **threshold lookup** via per-station *threshold rasters*: the
+     station's region subset is rasterized onto the irregular grid
+     spanned by its region edges (so every rect boundary is a raster
+     line exactly), and ``current_threshold`` for all nodes attached to
+     that station is one ``searchsorted`` + fancy-indexing gather.
+
+Both engines produce bit-identical thresholds and counters: ties in
+station assignment resolve to the first station in list order (the
+``min()`` the object path uses), overlapping regions resolve to the
+lowest region index (the ``_SubsetIndex`` bucket order), and points
+outside every stored region — or on a stale/lost subset — fall back to
+the conservative default Δ⊢ exactly where the object path does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.plan import SheddingRegion
+from repro.geo import Rect
+from repro.server.base_station import BaseStation
+from repro.server.protocol import BaseStationNetwork, MobileNode
+
+#: Engine names accepted by :class:`~repro.server.system.LiraSystem`.
+NODE_ENGINES = ("vector", "object")
+
+#: Safety inflation applied to the candidate-pruning bounds so that
+#: last-ulp rounding in the precomputed cell distances can only *grow*
+#: a cell's candidate set, never drop the true winner from it.
+_PRUNE_EPS = 1e-9
+
+
+class StationAssigner:
+    """Batched station assignment over a precomputed candidate raster.
+
+    Replicates :meth:`BaseStationNetwork.station_for` for arrays of
+    positions: the nearest *covering* station wins; positions covered by
+    no station fall back to the nearest station overall; distance ties
+    resolve to the earliest station in list order (``np.argmin`` over
+    candidates sorted by list index picks the first minimum, matching
+    the object path's ``min()``).
+
+    The raster stores, per cell, every station that could be the winner
+    for *some* point in the cell: stations whose coverage disk reaches
+    the cell, plus stations whose minimum distance to the cell does not
+    exceed the smallest maximum distance (the classic nearest-neighbour
+    pruning bound).  Positions outside the raster bounds (rare; traces
+    are generated inside them) are resolved against the full station
+    list, so the assignment is exact everywhere.
+    """
+
+    def __init__(
+        self,
+        stations: list[BaseStation],
+        bounds: Rect,
+        resolution: int | None = None,
+    ) -> None:
+        if not stations:
+            raise ValueError("at least one base station is required")
+        self.stations = stations
+        self.bounds = bounds
+        self._cx = np.array([s.center.x for s in stations], dtype=np.float64)
+        self._cy = np.array([s.center.y for s in stations], dtype=np.float64)
+        self._radius = np.array([s.radius for s in stations], dtype=np.float64)
+        self.station_ids = np.array(
+            [s.station_id for s in stations], dtype=np.int64
+        )
+        n_stations = len(stations)
+        if resolution is None:
+            resolution = int(np.clip(4 * np.ceil(np.sqrt(n_stations)), 8, 128))
+        self.resolution = resolution
+        self._cell_w = bounds.width / resolution or 1.0
+        self._cell_h = bounds.height / resolution or 1.0
+        self._candidates, self._n_candidates = self._build_raster()
+
+    def _build_raster(self) -> tuple[np.ndarray, np.ndarray]:
+        res = self.resolution
+        b = self.bounds
+        # Cell rectangles, one row per flattened cell (x-major like the
+        # plan raster: flat = i * res + j).
+        i = np.repeat(np.arange(res), res)
+        j = np.tile(np.arange(res), res)
+        x1 = b.x1 + i * self._cell_w
+        y1 = b.y1 + j * self._cell_h
+        x2, y2 = x1 + self._cell_w, y1 + self._cell_h
+        # Min distance: clamp the station center into the (closed) cell.
+        dx = np.maximum(
+            np.maximum(x1[:, None] - self._cx[None, :], 0.0),
+            self._cx[None, :] - x2[:, None],
+        )
+        dy = np.maximum(
+            np.maximum(y1[:, None] - self._cy[None, :], 0.0),
+            self._cy[None, :] - y2[:, None],
+        )
+        d_min = np.hypot(dx, dy)  # (cells, stations)
+        # Max distance: the farthest cell corner from the center.
+        far_x = np.maximum(
+            np.abs(x1[:, None] - self._cx[None, :]),
+            np.abs(x2[:, None] - self._cx[None, :]),
+        )
+        far_y = np.maximum(
+            np.abs(y1[:, None] - self._cy[None, :]),
+            np.abs(y2[:, None] - self._cy[None, :]),
+        )
+        d_max = np.hypot(far_x, far_y)
+        scale = max(abs(b.x1), abs(b.x2), abs(b.y1), abs(b.y2), 1.0)
+        eps = _PRUNE_EPS * scale
+        covering = d_min <= self._radius[None, :] + eps
+        nearest_bound = d_max.min(axis=1, keepdims=True)
+        nearest = d_min <= nearest_bound + eps
+        candidate = covering | nearest
+        counts = candidate.sum(axis=1)
+        width = int(counts.max())
+        table = np.full((res * res, width), -1, dtype=np.int64)
+        for cell in range(res * res):
+            slots = np.flatnonzero(candidate[cell])  # ascending list order
+            table[cell, : slots.size] = slots
+        return table, counts
+
+    @property
+    def mean_candidates(self) -> float:
+        """Average candidate-set size per raster cell (diagnostics)."""
+        return float(self._n_candidates.mean())
+
+    def assign(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Station *slot* (index into the station list) per position."""
+        n = x.size
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        b = self.bounds
+        inside = (x >= b.x1) & (x <= b.x2) & (y >= b.y1) & (y <= b.y2)
+        slots = np.empty(n, dtype=np.int64)
+        if inside.all():
+            slots[:] = self._assign_raster(x, y)
+        else:
+            idx_in = np.flatnonzero(inside)
+            idx_out = np.flatnonzero(~inside)
+            slots[idx_in] = self._assign_raster(x[idx_in], y[idx_in])
+            slots[idx_out] = self._assign_exhaustive(x[idx_out], y[idx_out])
+        return slots
+
+    def _resolve(self, x: np.ndarray, y: np.ndarray, cand: np.ndarray) -> np.ndarray:
+        """Exact winner among per-row candidate slot lists (-1 padded)."""
+        valid = cand >= 0
+        safe = np.where(valid, cand, 0)
+        d = np.hypot(x[:, None] - self._cx[safe], y[:, None] - self._cy[safe])
+        d = np.where(valid, d, np.inf)
+        covers = valid & (d <= self._radius[safe])
+        d_cover = np.where(covers, d, np.inf)
+        has_cover = covers.any(axis=1)
+        pick = np.where(
+            has_cover, np.argmin(d_cover, axis=1), np.argmin(d, axis=1)
+        )
+        return cand[np.arange(cand.shape[0]), pick]
+
+    def _assign_raster(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        b = self.bounds
+        ix = ((x - b.x1) / self._cell_w).astype(np.int64)
+        iy = ((y - b.y1) / self._cell_h).astype(np.int64)
+        np.clip(ix, 0, self.resolution - 1, out=ix)
+        np.clip(iy, 0, self.resolution - 1, out=iy)
+        return self._resolve(x, y, self._candidates[ix * self.resolution + iy])
+
+    def _assign_exhaustive(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        cand = np.broadcast_to(
+            np.arange(len(self.stations), dtype=np.int64), (x.size, len(self.stations))
+        )
+        return self._resolve(x, y, cand)
+
+
+class _ThresholdRaster:
+    """A station subset rasterized for batched Δ lookup.
+
+    The raster lines are exactly the region-rect edges, so "is the point
+    inside this rect?" (half-open, like :meth:`Rect.contains_xy`)
+    coincides exactly with "does the point's raster cell lie in the
+    rect's cell range?" — no alignment assumptions about the plan grid
+    are needed, and stale subsets from older plans (different
+    resolution) rasterize just as exactly.  Overlapping regions are
+    painted in reverse subset order so the lowest region index wins,
+    matching the ``_SubsetIndex`` bucket-scan order.
+    """
+
+    def __init__(self, regions: tuple[SheddingRegion, ...]) -> None:
+        xs = sorted({e for r in regions for e in (r.rect.x1, r.rect.x2)})
+        ys = sorted({e for r in regions for e in (r.rect.y1, r.rect.y2)})
+        self._xs = np.array(xs, dtype=np.float64)
+        self._ys = np.array(ys, dtype=np.float64)
+        grid = np.full((len(xs) - 1, len(ys) - 1), np.nan, dtype=np.float64)
+        for region in reversed(regions):
+            i1 = int(np.searchsorted(self._xs, region.rect.x1))
+            i2 = int(np.searchsorted(self._xs, region.rect.x2))
+            j1 = int(np.searchsorted(self._ys, region.rect.y1))
+            j2 = int(np.searchsorted(self._ys, region.rect.y2))
+            grid[i1:i2, j1:j2] = region.delta
+        self._grid = grid
+
+    def thresholds_at(
+        self, x: np.ndarray, y: np.ndarray, default: float
+    ) -> np.ndarray:
+        ix = np.searchsorted(self._xs, x, side="right") - 1
+        iy = np.searchsorted(self._ys, y, side="right") - 1
+        inside = (
+            (ix >= 0)
+            & (ix < self._grid.shape[0])
+            & (iy >= 0)
+            & (iy < self._grid.shape[1])
+        )
+        out = np.full(x.shape, default, dtype=np.float64)
+        if inside.any():
+            values = self._grid[ix[inside], iy[inside]]
+            out[inside] = np.where(np.isnan(values), default, values)
+        return out
+
+
+class ObjectNodeEngine:
+    """The reference node-side path: one :class:`MobileNode` per node.
+
+    Identical to the historical inline loop in ``LiraSystem.tick``, plus
+    a monotonic :attr:`total_handoffs` counter maintained alongside it
+    so stats snapshots no longer need the O(N) per-node reduction.
+    """
+
+    def __init__(self, n_nodes: int, network: BaseStationNetwork) -> None:
+        self.n_nodes = n_nodes
+        self.network = network
+        self.nodes = [MobileNode(node_id=i) for i in range(n_nodes)]
+        self.total_handoffs = 0
+
+    def compute_thresholds(
+        self,
+        positions: np.ndarray,
+        active: np.ndarray | None,
+        default: float,
+    ) -> np.ndarray:
+        """Per-node Δ for one tick; inactive nodes get ``inf``."""
+        thresholds = np.empty(self.n_nodes, dtype=np.float64)
+        for i, node in enumerate(self.nodes):
+            if active is not None and not active[i]:
+                # Departed node: samples nothing, sends nothing.
+                thresholds[i] = np.inf
+                continue
+            x, y = float(positions[i, 0]), float(positions[i, 1])
+            previous_station = node.station_id
+            node.observe_position(x, y, self.network)
+            if previous_station is not None and node.station_id != previous_station:
+                self.total_handoffs += 1
+            thresholds[i] = node.current_threshold(x, y, default=default)
+        return thresholds
+
+    def stored_region_counts(self) -> np.ndarray:
+        """How many shedding regions each node currently stores."""
+        return np.array(
+            [node.stored_region_count for node in self.nodes], dtype=np.int64
+        )
+
+    def handoff_counts(self) -> np.ndarray:
+        """Per-node hand-off counters (parity introspection)."""
+        return np.array([node.handoffs for node in self.nodes], dtype=np.int64)
+
+    def install_counts(self) -> np.ndarray:
+        """Per-node subset-install counters (parity introspection)."""
+        return np.array(
+            [node.subset_installs for node in self.nodes], dtype=np.int64
+        )
+
+    def station_slots(self) -> np.ndarray:
+        """Current station id per node (-1 before first attachment)."""
+        return np.array(
+            [
+                -1 if node.station_id is None else node.station_id
+                for node in self.nodes
+            ],
+            dtype=np.int64,
+        )
+
+
+class VectorNodeEngine:
+    """Struct-of-arrays node-side engine, bit-identical to the object path.
+
+    Node state lives in flat arrays: the slot of the serving station
+    (-1 before first attachment), the installed region-subset version
+    (-1 when the node stores no regions — never attached, or handed off
+    to a station whose broadcast was lost), and per-node hand-off /
+    install counters.  Per-station threshold rasters are cached by the
+    *identity of the region tuple* they rasterize, so re-broadcasts of
+    an unchanged plan (which reuse the network's cached per-station
+    member tuples) rebuild nothing.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        network: BaseStationNetwork,
+        bounds: Rect,
+        assigner_resolution: int | None = None,
+    ) -> None:
+        self.n_nodes = n_nodes
+        self.network = network
+        self.assigner = StationAssigner(
+            network.stations, bounds, resolution=assigner_resolution
+        )
+        self._station_slot = np.full(n_nodes, -1, dtype=np.int64)
+        self._installed_version = np.full(n_nodes, -1, dtype=np.int64)
+        self._handoffs = np.zeros(n_nodes, dtype=np.int64)
+        self._installs = np.zeros(n_nodes, dtype=np.int64)
+        self.total_handoffs = 0
+        #: slot -> (regions-tuple id, regions ref, raster | None) cache.
+        self._rasters: dict[int, tuple[int, tuple, _ThresholdRaster | None]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-tick station/subset state from the network
+    # ------------------------------------------------------------------
+
+    def _station_state(self) -> tuple[np.ndarray, list]:
+        """Current subset version per station slot (-1 = none) + subsets."""
+        versions = np.full(len(self.assigner.stations), -1, dtype=np.int64)
+        subsets: list = [None] * len(self.assigner.stations)
+        for slot, station in enumerate(self.assigner.stations):
+            subset = self.network.subset_or_none(station.station_id)
+            if subset is not None:
+                versions[slot] = subset.version
+                subsets[slot] = subset
+        return versions, subsets
+
+    def _raster_for(self, slot: int, subset) -> _ThresholdRaster | None:
+        regions = subset.regions
+        cached = self._rasters.get(slot)
+        if cached is not None and cached[0] == id(regions):
+            return cached[2]
+        raster = _ThresholdRaster(regions) if regions else None
+        # Hold a reference to the tuple so its id stays valid.
+        self._rasters[slot] = (id(regions), regions, raster)
+        return raster
+
+    # ------------------------------------------------------------------
+    # The per-tick batch
+    # ------------------------------------------------------------------
+
+    def compute_thresholds(
+        self,
+        positions: np.ndarray,
+        active: np.ndarray | None,
+        default: float,
+    ) -> np.ndarray:
+        """Per-node Δ for one tick; inactive nodes get ``inf``."""
+        thresholds = np.full(self.n_nodes, np.inf, dtype=np.float64)
+        if active is None:
+            act = np.arange(self.n_nodes, dtype=np.int64)
+        else:
+            act = np.flatnonzero(active)
+        if act.size == 0:
+            return thresholds
+        x = np.ascontiguousarray(positions[act, 0], dtype=np.float64)
+        y = np.ascontiguousarray(positions[act, 1], dtype=np.float64)
+
+        slots = self.assigner.assign(x, y)
+        previous = self._station_slot[act]
+        changed = slots != previous
+        handoff = changed & (previous >= 0)
+        if handoff.any():
+            self.total_handoffs += int(handoff.sum())
+            self._handoffs[act[handoff]] += 1
+        self._station_slot[act] = slots
+
+        versions, subsets = self._station_state()
+        slot_version = versions[slots]
+        installed = self._installed_version[act]
+        # Hand-off: adopt the new station's subset (or clear on a lost
+        # broadcast).  Same station: re-install only when the broadcast
+        # version advanced past the stored one.
+        install = changed & (slot_version >= 0)
+        install |= (~changed) & (slot_version >= 0) & (slot_version != installed)
+        clear = changed & (slot_version < 0)
+        if install.any():
+            self._installs[act[install]] += 1
+            self._installed_version[act[install]] = slot_version[install]
+        if clear.any():
+            self._installed_version[act[clear]] = -1
+
+        # Threshold gather: one raster lookup per station that currently
+        # serves nodes with an installed subset; everyone else is Δ⊢.
+        out = np.full(act.size, default, dtype=np.float64)
+        have = self._installed_version[act] >= 0
+        if have.any():
+            have_slots = slots[have]
+            for slot in np.unique(have_slots):
+                raster = self._raster_for(int(slot), subsets[slot])
+                if raster is None:
+                    continue  # empty subset: conservative default
+                mask = have.copy()
+                mask[have] = have_slots == slot
+                out[mask] = raster.thresholds_at(x[mask], y[mask], default)
+        thresholds[act] = out
+        return thresholds
+
+    # ------------------------------------------------------------------
+    # Introspection (parity with the object path)
+    # ------------------------------------------------------------------
+
+    def stored_region_counts(self) -> np.ndarray:
+        """How many shedding regions each node currently stores."""
+        versions, subsets = self._station_state()
+        counts = np.zeros(self.n_nodes, dtype=np.int64)
+        stored = self._installed_version >= 0
+        for i in np.flatnonzero(stored):
+            subset = subsets[self._station_slot[i]]
+            counts[i] = len(subset.regions) if subset is not None else 0
+        return counts
+
+    def handoff_counts(self) -> np.ndarray:
+        """Per-node hand-off counters (parity introspection)."""
+        return self._handoffs.copy()
+
+    def install_counts(self) -> np.ndarray:
+        """Per-node subset-install counters (parity introspection)."""
+        return self._installs.copy()
+
+    def station_slots(self) -> np.ndarray:
+        """Current station id per node (-1 before first attachment)."""
+        ids = np.full(self.n_nodes, -1, dtype=np.int64)
+        attached = self._station_slot >= 0
+        ids[attached] = self.assigner.station_ids[self._station_slot[attached]]
+        return ids

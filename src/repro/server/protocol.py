@@ -109,6 +109,12 @@ class BaseStationNetwork:
         self._pending: dict[int, tuple[float, RegionSubset]] = {}
         #: Time each plan version was generated (staleness accounting).
         self._version_times: dict[int, float] = {}
+        #: Coverage cache: re-installing the *same* plan object reuses
+        #: the per-station region-member tuples instead of re-running
+        #: the O(stations x regions) coverage intersection.  Keyed by
+        #: identity; the strong reference keeps the id stable.
+        self._coverage_plan: SheddingPlan | None = None
+        self._coverage_members: list[tuple[SheddingRegion, ...]] = []
 
     def install_plan(
         self, plan: SheddingPlan, t: float = 0.0
@@ -123,10 +129,13 @@ class BaseStationNetwork:
         self.version += 1
         self._version_times[self.version] = t
         delivered: dict[int, RegionSubset] = {}
-        for station in self.stations:
-            members = tuple(
-                plan.regions[i] for i in station.regions_in_coverage(plan)
-            )
+        if self._coverage_plan is not plan:
+            self._coverage_members = [
+                tuple(plan.regions[i] for i in station.regions_in_coverage(plan))
+                for station in self.stations
+            ]
+            self._coverage_plan = plan
+        for station, members in zip(self.stations, self._coverage_members):
             subset = RegionSubset(
                 station_id=station.station_id,
                 regions=members,

@@ -40,6 +40,11 @@ from repro.motion import DeadReckoningFleet
 from repro.queries import RangeQuery
 from repro.server.base_station import BaseStation, place_uniform_stations
 from repro.server.cq_server import MobileCQServer
+from repro.server.node_engine import (
+    NODE_ENGINES,
+    ObjectNodeEngine,
+    VectorNodeEngine,
+)
 from repro.server.protocol import BaseStationNetwork, MobileNode
 
 #: Systems-loop policies: LIRA's source-actuated region-aware shedding,
@@ -96,6 +101,13 @@ class LiraSystem:
             protocol stack: a trivial one-region plan at Δ⊢ and
             server-side random admission at fraction z.
         policy_seed: seed for the Random Drop admission lottery.
+        engine: ``"vector"`` (default) runs the node side on the
+            struct-of-arrays :class:`~repro.server.node_engine.VectorNodeEngine`
+            and the server on the batched array-ingest path;
+            ``"object"`` runs the reference per-:class:`MobileNode` loop
+            and per-message queue the vectorized path is validated
+            against.  Both produce bit-identical behaviour at matched
+            seeds.
     """
 
     def __init__(
@@ -114,12 +126,17 @@ class LiraSystem:
         faults: FaultInjector | None = None,
         policy: str = "lira",
         policy_seed: int = 0,
+        engine: str = "vector",
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
+        if engine not in NODE_ENGINES:
+            raise ValueError(f"engine must be one of {NODE_ENGINES}")
         self.config = config or LiraConfig(l=49, alpha=64)
         self.bounds = bounds
+        self.n_nodes = n_nodes
         self.policy = policy
+        self.engine = engine
         self.faults = faults
         self.server = MobileCQServer(
             bounds,
@@ -127,6 +144,7 @@ class LiraSystem:
             queries,
             service_rate=service_rate,
             queue_capacity=queue_capacity,
+            batch_ingest=engine == "vector",
         )
         self.shedder = LiraLoadShedder(
             self.config, reduction, queue_capacity=queue_capacity
@@ -137,13 +155,33 @@ class LiraSystem:
             stations or place_uniform_stations(bounds, station_radius),
             downlink=faults if faults is not None else None,
         )
-        self.nodes = [MobileNode(node_id=i) for i in range(n_nodes)]
+        self.node_engine: ObjectNodeEngine | VectorNodeEngine
+        if engine == "vector":
+            self.node_engine = VectorNodeEngine(n_nodes, self.network, bounds)
+        else:
+            self.node_engine = ObjectNodeEngine(n_nodes, self.network)
         self.fleet = DeadReckoningFleet(n_nodes)
         self.history = TrajectoryStore(n_nodes)
         self.receive_substeps = max(1, receive_substeps)
         self._plan_installed = False
+        self._trivial_plan_cache: SheddingPlan | None = None
         self._policy_rng = np.random.default_rng(policy_seed)
         self.current_time = 0.0
+
+    @property
+    def nodes(self) -> list[MobileNode]:
+        """The object-path node population (``engine="object"`` only).
+
+        The vectorized engine keeps node state in arrays; use the
+        engine-agnostic accessors (``node_engine.stored_region_counts``,
+        ``node_engine.handoff_counts``, …) instead.
+        """
+        if isinstance(self.node_engine, ObjectNodeEngine):
+            return self.node_engine.nodes
+        raise AttributeError(
+            "per-node MobileNode objects exist only with engine='object'; "
+            "use the node_engine accessors for the vectorized path"
+        )
 
     def bootstrap(self, positions: np.ndarray, velocities: np.ndarray) -> None:
         """Register the population's initial motion models out-of-band.
@@ -185,16 +223,24 @@ class LiraSystem:
         self._plan_installed = True
 
     def _trivial_plan(self) -> SheddingPlan:
-        """One region covering the bounds at Δ⊢: no source throttling."""
-        region = RegionStats(rect=self.bounds, n=0.0, m=0.0, s=0.0)
-        return SheddingPlan.from_regions(
-            bounds=self.bounds,
-            regions=[region],
-            thresholds=clamp_thresholds(
-                np.array([self.config.delta_min]), self.config
-            ),
-            resolution=1,
-        )
+        """One region covering the bounds at Δ⊢: no source throttling.
+
+        Memoized: the plan depends only on the (immutable) bounds and
+        config, and reinstalling the *same* object lets the network's
+        coverage cache skip recomputing per-station subsets every
+        adaptation.
+        """
+        if self._trivial_plan_cache is None:
+            region = RegionStats(rect=self.bounds, n=0.0, m=0.0, s=0.0)
+            self._trivial_plan_cache = SheddingPlan.from_regions(
+                bounds=self.bounds,
+                regions=[region],
+                thresholds=clamp_thresholds(
+                    np.array([self.config.delta_min]), self.config
+                ),
+                resolution=1,
+            )
+        return self._trivial_plan_cache
 
     # ------------------------------------------------------------------
     # Data path
@@ -217,19 +263,11 @@ class LiraSystem:
         rate_factor = 1.0
         if faults is not None:
             self.network.deliver_pending(t)
-            active = faults.churn_step(len(self.nodes))
+            active = faults.churn_step(self.n_nodes)
             rate_factor = faults.service_factor(t)
-        thresholds = np.empty(len(self.nodes))
-        for i, node in enumerate(self.nodes):
-            if active is not None and not active[i]:
-                # Departed node: samples nothing, sends nothing.
-                thresholds[i] = np.inf
-                continue
-            x, y = float(positions[i, 0]), float(positions[i, 1])
-            node.observe_position(x, y, self.network)
-            thresholds[i] = node.current_threshold(
-                x, y, default=self.config.delta_min
-            )
+        thresholds = self.node_engine.compute_thresholds(
+            positions, active, default=self.config.delta_min
+        )
         self.fleet.set_thresholds(thresholds)
         senders = self.fleet.observe(t, positions, velocities)
         self.history.record(t, senders, positions[senders], velocities[senders])
@@ -282,7 +320,9 @@ class LiraSystem:
             updates_sent=self.fleet.total_reports,
             updates_processed=self.server.table.updates_applied,
             broadcast_bytes=self.network.total_broadcast_bytes,
-            handoffs=sum(node.handoffs for node in self.nodes),
+            # O(1): a monotonic counter the engine maintains tick by
+            # tick, not an O(N) reduction over per-node counters.
+            handoffs=self.node_engine.total_handoffs,
             plan_version=self.network.version,
             mean_plan_staleness=mean_staleness,
             stale_station_fraction=stale_fraction,
@@ -298,6 +338,6 @@ class LiraSystem:
             updates_discarded=self.server.table.updates_discarded,
             slow_ticks=counters.slow_ticks if counters else 0,
             active_nodes=(
-                int(active.sum()) if active is not None else len(self.nodes)
+                int(active.sum()) if active is not None else self.n_nodes
             ),
         )

@@ -229,6 +229,23 @@ class TestFairness:
                 assert current <= previous + 1e-6 or True
             previous = current
 
+    def test_tiny_fairness_degenerates_to_uniform(self, reduction):
+        # A positive fairness far below the Delta domain would force the
+        # greedy march into O(range / fairness) lockstep rounds; the
+        # resolution floor must short-circuit to the uniform solution
+        # (spread 0 trivially satisfies any non-negative fairness).
+        regions = make_regions([500, 10, 100], [0, 5, 1])
+        for fairness in (1e-9, 1e-6, 1e-3):
+            result = greedy_increment(
+                regions, reduction, 0.4, increment=1.0, fairness=fairness
+            )
+            spread = result.thresholds.max() - result.thresholds.min()
+            assert spread == 0.0
+            assert result.steps == 0
+            assert result.thresholds[0] == pytest.approx(
+                reduction.delta_for_fraction(0.4), abs=0.2
+            )
+
     def test_budget_respected_with_fairness(self, reduction):
         regions = make_regions([500, 100, 50], [1, 2, 0], [10.0, 3.0, 7.0])
         pw = reduction.piecewise(19)

@@ -466,9 +466,7 @@ class TestSystemGuarantees:
         assert stats.admission_drops > 0
         # The trivial plan reaches the nodes through the same protocol.
         assert stats.plan_version > 0
-        assert all(
-            node.stored_region_count <= 1 for node in system.nodes
-        )
+        assert np.all(system.node_engine.stored_region_counts() <= 1)
 
     def test_rejects_unknown_policy(self, small_trace, queries):
         with pytest.raises(ValueError):
