@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Perf regression harness: run the hot-path benchmarks, emit BENCH_4.json.
+"""Perf regression harness: run the hot-path benchmarks, emit BENCH_5.json.
 
-Collects four kinds of evidence:
+Collects several kinds of evidence:
 
 1. Micro-benchmarks (``benchmarks/test_sim_kernel.py`` via
    pytest-benchmark): median ns per op for the simulation measurement
@@ -21,15 +21,23 @@ Collects four kinds of evidence:
    paper's N=2000 population, object vs vectorized node engine, plus a
    vectorized-only N=100k demonstration run (positions synthesized
    directly so no 100k-vehicle road trace is needed).
+7. Adapt path: the full re-adaptation step (statistics-grid build +
+   GRIDREDUCE + GREEDYINCREMENT) at the benchmark scale, object vs
+   vectorized kernels with the resulting plans asserted bit-identical,
+   plus a vectorized-only N=1M systems-tick demonstration.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_4.json]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_5.json]
         [--skip-micro] [--skip-macro] [--skip-trace] [--skip-cache]
-        [--skip-faults] [--skip-systems]
+        [--skip-faults] [--skip-systems] [--skip-adapt]
+        [--no-regress-check]
 
 The output schema is stable so future PRs can diff their numbers
-against this file (see ``schema``).
+against this file (see ``schema``).  When the output file already
+exists (the committed baseline), the adapt-path step is compared
+against it first and the run fails fast on a >25% regression — pass
+``--no-regress-check`` to record a new baseline regardless.
 """
 
 from __future__ import annotations
@@ -56,6 +64,7 @@ MICRO_BENCHES = {
     "kernel_eval": "test_kernel_eval",
     "bruteforce_eval": "test_bruteforce_eval",
     "adapt_step": "test_adapt_step",
+    "adapt_step_vector": "test_adapt_step_vector",
 }
 
 
@@ -81,8 +90,9 @@ def run_micro() -> dict:
         data = json.loads(out_json.read_text())
     medians = {}
     for bench in data["benchmarks"]:
+        bare = bench["name"].split("[", 1)[0]
         for key, test_name in MICRO_BENCHES.items():
-            if bench["name"].startswith(test_name):
+            if bare == test_name:
                 medians[key] = bench["stats"]["median"] * 1e9  # s -> ns
     missing = set(MICRO_BENCHES) - set(medians)
     if missing:
@@ -249,17 +259,28 @@ def run_faults_bench(repeats: int = 3) -> dict:
     }
 
 
-def run_systems_loop_bench(repeats: int = 3) -> dict:
-    """Per-tick systems-loop cost: object vs vectorized node engine.
+#: Side / dt of the synthesized systems-loop scene (paper's 14 km square).
+_SYNTH_SIDE = 14_000.0
+_SYNTH_DT = 10.0
 
-    Node positions are synthesized directly over the paper's 14 km
-    monitoring square (no road network), so the timing isolates the
-    node-side engine + batched server ingest and the N=100k
-    demonstration needs no 100k-vehicle trace.  Both engines consume
-    the *same* position frames, and at N=2000 the vectorized system's
-    stats are asserted equal to the object system's — the speedup is
-    only meaningful if the two runs did identical work.
-    """
+
+def _synth_frames(n_nodes: int, n_ticks: int, seed: int):
+    """Straight-line position frames over the synthesized scene."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, _SYNTH_SIDE, (n_nodes, 2))
+    velocities = rng.uniform(-30.0, 30.0, (n_nodes, 2))
+    frames = []
+    p = positions
+    for _ in range(n_ticks):
+        frames.append(p)
+        p = np.clip(p + velocities * _SYNTH_DT, 0.0, _SYNTH_SIDE)
+    return frames, velocities
+
+
+def _run_system_ticks(engine: str, frames, velocities) -> dict:
+    """Run a ``LiraSystem`` over pre-built frames, timing each tick."""
     import numpy as np
 
     from repro.core import AnalyticReduction, LiraConfig
@@ -268,26 +289,13 @@ def run_systems_loop_bench(repeats: int = 3) -> dict:
     from repro.queries import QueryDistribution, generate_workload
     from repro.server import LiraSystem
 
-    side, dt = 14_000.0, 10.0
-
-    def frames_for(n_nodes, n_ticks, seed):
-        rng = np.random.default_rng(seed)
-        positions = rng.uniform(0.0, side, (n_nodes, 2))
-        velocities = rng.uniform(-30.0, 30.0, (n_nodes, 2))
-        frames = []
-        p = positions
-        for _ in range(n_ticks):
-            frames.append(p)
-            p = np.clip(p + velocities * dt, 0.0, side)
-        return frames, velocities
-
-    def run(engine, frames, velocities):
-        n_nodes = velocities.shape[0]
-        bounds = Rect(0.0, 0.0, side, side)
-        queries = generate_workload(
-            bounds, 16, 500.0, QueryDistribution.PROPORTIONAL,
-            frames[0], seed=17,
-        )
+    n_nodes = velocities.shape[0]
+    bounds = Rect(0.0, 0.0, _SYNTH_SIDE, _SYNTH_SIDE)
+    queries = generate_workload(
+        bounds, 16, 500.0, QueryDistribution.PROPORTIONAL,
+        frames[0], seed=17,
+    )
+    with Stopwatch() as boot_watch:
         system = LiraSystem(
             bounds=bounds,
             n_nodes=n_nodes,
@@ -302,15 +310,39 @@ def run_systems_loop_bench(repeats: int = 3) -> dict:
         system.shedder.set_throttle_fraction(0.5)
         system.bootstrap(frames[0], velocities)
         system.adapt(frames[0], np.hypot(velocities[:, 0], velocities[:, 1]))
+    tick_seconds = []
+    for tick, positions in enumerate(frames):
         with Stopwatch() as stopwatch:
-            for tick, positions in enumerate(frames):
-                system.tick(tick * dt, positions, velocities, dt)
-        stats = system.stats()
-        assert stats.updates_sent > 0
-        return stopwatch.elapsed / len(frames), stats
+            system.tick(tick * _SYNTH_DT, positions, velocities, _SYNTH_DT)
+        tick_seconds.append(stopwatch.elapsed)
+    stats = system.stats()
+    assert stats.updates_sent > 0
+    return {
+        "bootstrap_s": boot_watch.elapsed,
+        "tick_seconds": tick_seconds,
+        "mean_tick_s": sum(tick_seconds) / len(tick_seconds),
+        "stats": stats,
+    }
+
+
+def run_systems_loop_bench(repeats: int = 3) -> dict:
+    """Per-tick systems-loop cost: object vs vectorized node engine.
+
+    Node positions are synthesized directly over the paper's 14 km
+    monitoring square (no road network), so the timing isolates the
+    node-side engine + batched server ingest and the N=100k
+    demonstration needs no 100k-vehicle trace.  Both engines consume
+    the *same* position frames, and at N=2000 the vectorized system's
+    stats are asserted equal to the object system's — the speedup is
+    only meaningful if the two runs did identical work.
+    """
+
+    def run(engine, frames, velocities):
+        result = _run_system_ticks(engine, frames, velocities)
+        return result["mean_tick_s"], result["stats"]
 
     # N=2000 (the paper's population): object vs vector, identical frames.
-    frames, velocities = frames_for(2000, 30, seed=17)
+    frames, velocities = _synth_frames(2000, 30, seed=17)
     object_tick = min(
         run("object", frames, velocities)[0] for _ in range(repeats)
     )
@@ -327,7 +359,7 @@ def run_systems_loop_bench(repeats: int = 3) -> dict:
 
     # N=100k demonstration: vectorized engine only (the object loop at
     # this scale is exactly what this PR removes from the hot path).
-    big_frames, big_velocities = frames_for(100_000, 10, seed=18)
+    big_frames, big_velocities = _synth_frames(100_000, 10, seed=18)
     big_tick, big_stats = run("vector", big_frames, big_velocities)
 
     return {
@@ -349,6 +381,158 @@ def run_systems_loop_bench(repeats: int = 3) -> dict:
     }
 
 
+def run_adapt_path_bench(repeats: int = 3) -> dict:
+    """Full re-adaptation step at the benchmark scale: object vs vector.
+
+    Replicates ``benchmarks/test_sim_kernel.py::test_adapt_step``'s
+    workload (grid build from a mid-trace snapshot + LIRA adapt at
+    z=0.5) for both adapt-path engines.  The two plans are asserted
+    bit-identical — same region rectangles, same Δ thresholds to the
+    last ulp — before any timing is reported.  Also runs the N=1M-node
+    vectorized systems-tick demonstration (synthesized frames, same
+    harness as the systems-loop bench).
+    """
+    import statistics
+
+    from repro.core.statistics_grid import StatisticsGrid
+    from repro.experiments.common import ExperimentScale
+    from repro.metrics.cost import Stopwatch
+    from repro.sim.scenario import make_policies
+
+    # Mirrors benchmarks/conftest.py BENCH (keep the two in sync).
+    bench = ExperimentScale(
+        name="bench",
+        n_nodes=600,
+        duration=400.0,
+        dt=10.0,
+        side_meters=5000.0,
+        collector_spacing=550.0,
+        l=25,
+        alpha=64,
+        reduction_samples=8,
+        adapt_every=15,
+        seed=7,
+    )
+    scenario = bench.scenario()
+    trace = scenario.trace
+    mid = trace.num_ticks // 2
+    positions = trace.positions[mid]
+    speeds = trace.speeds(mid)
+    config = bench.lira_config()
+
+    def build_grid():
+        return StatisticsGrid.from_snapshot(
+            trace.bounds, config.resolved_alpha, positions, speeds,
+            scenario.queries,
+        )
+
+    policies = {
+        engine: make_policies(
+            scenario, config, include=("lira",), engine=engine
+        )["lira"]
+        for engine in ("object", "vector")
+    }
+
+    # Plans must be bit-identical before the timing means anything.
+    grid = build_grid()
+    for policy in policies.values():
+        policy.adapt(grid, 0.5)
+    obj_plan, vec_plan = (policies[e].plan for e in ("object", "vector"))
+    if len(obj_plan.regions) != len(vec_plan.regions):
+        raise RuntimeError("adapt-path engines produced different partitions")
+    for ro, rv in zip(obj_plan.regions, vec_plan.regions):
+        if ro.rect != rv.rect or ro.delta != rv.delta:
+            raise RuntimeError(
+                f"adapt-path engines diverged: {ro} vs {rv}"
+            )
+
+    iterations = max(10 * repeats, 20)
+
+    def timed(fn):
+        # Best-of, like every other wall-clock in this report: on the
+        # shared 1-core container the minimum is far more stable than
+        # the median under background load, and the regression gate
+        # needs the speedup ratio to be reproducible.
+        samples = []
+        for _ in range(iterations):
+            with Stopwatch() as stopwatch:
+                fn()
+            samples.append(stopwatch.elapsed)
+        return min(samples)
+
+    grid_build_s = timed(build_grid)
+    adapt_only = {
+        engine: timed(lambda p=policy: p.adapt(grid, 0.5))
+        for engine, policy in policies.items()
+    }
+    adapt_step = {
+        engine: timed(lambda p=policy: p.adapt(build_grid(), 0.5))
+        for engine, policy in policies.items()
+    }
+
+    # N=1M demonstration: vectorized engine only.
+    frames, velocities = _synth_frames(1_000_000, 6, seed=19)
+    million = _run_system_ticks("vector", frames, velocities)
+
+    return {
+        "scale": "bench (n=600, l=25, alpha=64, z=0.5)",
+        "grid_build_ms": round(grid_build_s * 1e3, 3),
+        "object_adapt_only_ms": round(adapt_only["object"] * 1e3, 3),
+        "vector_adapt_only_ms": round(adapt_only["vector"] * 1e3, 3),
+        "object_adapt_step_ms": round(adapt_step["object"] * 1e3, 3),
+        "vector_adapt_step_ms": round(adapt_step["vector"] * 1e3, 3),
+        "speedup_adapt_only": round(
+            adapt_only["object"] / adapt_only["vector"], 2
+        ),
+        "speedup_adapt_step": round(
+            adapt_step["object"] / adapt_step["vector"], 2
+        ),
+        "plans_identical": True,
+        "million_node_tick": {
+            "n_nodes": 1_000_000,
+            "ticks": len(frames),
+            "bootstrap_s": round(million["bootstrap_s"], 3),
+            "median_tick_s": round(
+                statistics.median(million["tick_seconds"]), 3
+            ),
+            "max_tick_s": round(max(million["tick_seconds"]), 3),
+            "updates_sent": million["stats"].updates_sent,
+            "handoffs": million["stats"].handoffs,
+        },
+    }
+
+
+#: Allowed shrinkage of the adapt-step speedup (object ms / vector ms)
+#: vs the committed baseline before the report run fails.  The gate is
+#: on the *ratio*, not absolute milliseconds, so it holds on machines
+#: slower or faster than the recording container (both engines scale
+#: together); run-to-run ratio noise is ~10%, a real kernel regression
+#: is far larger.
+REGRESSION_TOLERANCE = 0.25
+
+
+def check_adapt_regression(baseline_path: Path, measured: dict) -> None:
+    """Fail fast if the vector adapt step regressed vs the committed file."""
+    if not baseline_path.exists():
+        return
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return
+    old = baseline.get("adapt_path", {}).get("speedup_adapt_step")
+    new = measured.get("speedup_adapt_step")
+    if not old or not new:
+        return
+    if new < old * (1.0 - REGRESSION_TOLERANCE):
+        raise SystemExit(
+            f"adapt_step regression: vector-vs-object speedup {new:.2f}x "
+            f"is {(1.0 - new / old) * 100.0:.1f}% below the committed "
+            f"baseline {old:.2f}x in {baseline_path.name} (tolerance "
+            f"{REGRESSION_TOLERANCE:.0%}).  Investigate before re-recording, "
+            "or pass --no-regress-check to accept the new numbers."
+        )
+
+
 def machine_info() -> dict:
     import numpy
 
@@ -362,18 +546,25 @@ def machine_info() -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_4.json"))
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_5.json"))
     parser.add_argument("--skip-micro", action="store_true")
     parser.add_argument("--skip-macro", action="store_true")
     parser.add_argument("--skip-trace", action="store_true")
     parser.add_argument("--skip-cache", action="store_true")
     parser.add_argument("--skip-faults", action="store_true")
     parser.add_argument("--skip-systems", action="store_true")
+    parser.add_argument("--skip-adapt", action="store_true")
+    parser.add_argument(
+        "--no-regress-check",
+        action="store_true",
+        help="record new numbers without comparing the adapt step "
+        "against the committed baseline",
+    )
     parser.add_argument("--repeats", type=int, default=2)
     args = parser.parse_args()
 
     report = {
-        "schema": "lira-bench/4",
+        "schema": "lira-bench/5",
         "recorded": "2026-08-07",
         "machine": machine_info(),
     }
@@ -389,6 +580,9 @@ def main() -> None:
             "query_eval": round(
                 medians["bruteforce_eval"] / medians["kernel_eval"], 2
             ),
+            "adapt_step": round(
+                medians["adapt_step"] / medians["adapt_step_vector"], 2
+            ),
         }
     if not args.skip_macro:
         report["medium_zsweep"] = run_macro(repeats=args.repeats)
@@ -402,6 +596,10 @@ def main() -> None:
         report["systems_loop"] = run_systems_loop_bench(
             repeats=max(args.repeats, 3)
         )
+    if not args.skip_adapt:
+        report["adapt_path"] = run_adapt_path_bench(repeats=max(args.repeats, 3))
+        if not args.no_regress_check:
+            check_adapt_regression(Path(args.output), report["adapt_path"])
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -15,6 +15,7 @@ from repro.core.gridreduce import (
     uniform_partitioning,
 )
 from repro.core.greedy import GreedyResult, RegionStats, greedy_increment
+from repro.core.greedy_vector import greedy_increment_batch, greedy_increment_vector
 from repro.core.plan import SheddingPlan, SheddingRegion, clamp_thresholds
 from repro.core.quadtree import RegionHierarchy, RegionNode
 from repro.core.reduction import (
@@ -50,6 +51,8 @@ __all__ = [
     "clamp_thresholds",
     "effective_region_count",
     "greedy_increment",
+    "greedy_increment_batch",
+    "greedy_increment_vector",
     "grid_reduce",
     "measure_reduction_from_trace",
     "render_density_map",

@@ -99,6 +99,7 @@ def greedy_increment(
     increment: float | None = None,
     fairness: float | None = None,
     use_speed: bool = True,
+    engine: str = "object",
 ) -> GreedyResult:
     """Run GREEDYINCREMENT over ``regions``.
 
@@ -106,13 +107,21 @@ def greedy_increment(
     when it is already piecewise linear; otherwise the function is
     discretized into segments of size ``increment`` first.  ``fairness``
     is Δ⇔ (``None`` disables the constraint; ``0`` forces the uniform-Δ
-    solution, the paper's degenerate case).
+    solution, the paper's degenerate case).  ``engine="vector"`` runs
+    the array kernel in :mod:`repro.core.greedy_vector`, bit-identical
+    to this reference loop.
     """
     if not regions:
         raise ValueError("at least one region is required")
     if not (0.0 <= z <= 1.0):
         raise ValueError("throttle fraction z must be in [0, 1]")
+    if engine not in ("object", "vector"):
+        raise ValueError(f"unknown greedy engine {engine!r}")
     pw = _as_piecewise(reduction, increment)
+    if engine == "vector":
+        from repro.core.greedy_vector import greedy_increment_vector
+
+        return greedy_increment_vector(regions, pw, z, fairness, use_speed)
     d_min, d_max = pw.delta_min, pw.delta_max
     seg = pw.segment_size
     l = len(regions)

@@ -1,0 +1,793 @@
+"""Array-resident GREEDYINCREMENT: the ``engine="vector"`` kernel.
+
+The reference implementation (:func:`repro.core.greedy.greedy_increment`)
+is a scalar heap loop: pop the region with the highest update gain,
+advance its throttler one segment, repeat until the expenditure meets
+the budget.  This module computes the *same pops in the same order*
+with array reductions, exploiting two structural facts:
+
+1. **Pop order is expenditure-free.**  A gain ``Sᵢ = wᵢ·r(Δᵢ)/mᵢ``
+   depends only on the region's current segment, never on the running
+   expenditure, so the heap's pop sequence can be computed up front.
+   Every region marches along one shared *knot path* (the (L, S)
+   segment schedule: knot levels ``L[k]`` and per-segment rates
+   ``S[k]``), so region ``i``'s k-th pop has the precomputable gain
+   ``g[i, k]``.  The heap pops entries in descending order of the
+   *running prefix minimum* ``key[i, k] = min(g[i, :k+1])``: a region
+   whose gain sequence rises pops the risen entries immediately after
+   the prefix-minimum "leader" (they beat everything else left in the
+   heap), which is exactly what a stable descending sort over the
+   prefix-min keys produces.  Unbounded (infinite-gain) entries pop
+   first, round-robin in ``(segment, region)`` order — the FIFO
+   tie-break among equal heap keys.
+2. **The expenditure chain is a single ufunc accumulation.**  With the
+   pop order fixed, ``expenditure -= rate·step`` over the pops is
+   ``np.subtract.accumulate`` over the gathered per-pop subtrahends —
+   bit-identical to the sequential left fold, because the accumulate
+   loop performs the same float subtractions in the same order.
+
+Everything the sort cannot prove is delegated, never approximated:
+
+* a pop whose budget-landing test fires (the usual way a run ends),
+  or a fairness constraint about to engage, hands off to
+  :func:`_continue_scalar` — the reference loop restarted from
+  reconstructed state (deltas, expenditure, heap with
+  order-preserving counters), which finishes the run exactly;
+* a cross-region tie among the prefix's finite keys (where FIFO order
+  depends on push history the sort cannot see) falls back to the
+  reference loop for the whole problem.
+
+Either way the result is bit-identical to the object path — enforced
+by the equivalence suite in ``tests/test_adapt_vector.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.greedy import (
+    _EPS,
+    GreedyResult,
+    RegionStats,
+    _region_weights,
+    _uniform_solution,
+)
+from repro.core.reduction import PiecewiseLinearReduction
+
+__all__ = [
+    "greedy_increment_arrays",
+    "greedy_increment_batch",
+    "greedy_increment_vector",
+]
+
+
+@dataclass(frozen=True)
+class _SegmentSchedule:
+    """The shared (L, S) knot-path schedule of one reduction function.
+
+    Every region starts at Δ⊢ and, until touched by budget landing or
+    fairness truncation, advances along the same knot sequence.  Entry
+    ``k`` describes a region's k-th heap pop: popped at ``delta_at[k]``
+    (level ``L[k]``), advancing by ``full_step[k]`` to ``new_at[k]``
+    with segment rate ``rate_at[k]`` (``S[k]``).  ``path_vals[c]`` is
+    the throttler value after ``c`` advancing pops.  A terminal
+    ``full_step`` of zero marks the reference loop's "blocked" exit
+    (the residual step to Δ⊣ is below the float tolerance).
+    """
+
+    delta_at: np.ndarray
+    new_at: np.ndarray
+    target_at: np.ndarray
+    full_step: np.ndarray
+    rate_at: np.ndarray
+    path_vals: np.ndarray
+    n_entries: int
+    n_advances: int
+
+
+def _schedule_for(pw: PiecewiseLinearReduction) -> _SegmentSchedule:
+    """The memoized knot-path schedule of ``pw``.
+
+    Replays the reference loop's per-pop delta arithmetic —
+    ``next_knot``, the Δ⊣ clamp, and ``new = old + step`` — in the same
+    float expressions, so every schedule value is the exact double the
+    scalar loop computes.
+    """
+    cached = pw.__dict__.get("_vector_schedule")
+    if cached is not None:
+        return cached  # type: ignore[no-any-return]
+    d_min, d_max, seg = pw.delta_min, pw.delta_max, pw.segment_size
+    delta_at: list[float] = []
+    new_at: list[float] = []
+    target_at: list[float] = []
+    full_step: list[float] = []
+    rate_at: list[float] = []
+    cur = d_min
+    while True:
+        next_knot = d_min + seg * (math.floor((cur - d_min) / seg + 1e-7) + 1)
+        target = min(next_knot, d_max)
+        step = target - cur
+        delta_at.append(cur)
+        target_at.append(target)
+        rate_at.append(pw.r(cur))
+        if step <= _EPS:
+            # Reference loop: the pop parks the region in ``blocked``
+            # without advancing or spending.
+            new_at.append(cur)
+            full_step.append(0.0)
+            break
+        new = cur + step
+        new_at.append(new)
+        full_step.append(step)
+        if new >= d_max - _EPS:
+            break
+        cur = new
+    steps_arr = np.array(full_step, dtype=np.float64)
+    schedule = _SegmentSchedule(
+        delta_at=np.array(delta_at, dtype=np.float64),
+        new_at=np.array(new_at, dtype=np.float64),
+        target_at=np.array(target_at, dtype=np.float64),
+        full_step=steps_arr,
+        rate_at=np.array(rate_at, dtype=np.float64),
+        path_vals=np.concatenate(([d_min], new_at)),
+        n_entries=len(delta_at),
+        n_advances=int(np.count_nonzero(steps_arr > 0)),
+    )
+    pw.__dict__["_vector_schedule"] = schedule
+    return schedule
+
+
+def _entry_tables(
+    weights: np.ndarray, m: np.ndarray, sched: _SegmentSchedule
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-entry ``(..., A, K)`` gain, prefix-min key, and rate tables.
+
+    Broadcasts over any number of leading problem axes.  The gain
+    expression mirrors the reference closure bit for bit:
+    ``min(fl(fl(w·S[k])/m), 1e300)`` for real query mass, ``inf``/``0``
+    for subnormal ``m`` depending on the rate sign.
+    """
+    rate = sched.rate_at
+    wr = weights[..., None] * rate
+    m_col = m[..., None]
+    massive = m_col > 1e-300
+    safe_m = np.where(massive, m_col, 1.0)
+    with np.errstate(over="ignore", invalid="ignore"):
+        gains = np.where(
+            massive,
+            np.minimum(wr / safe_m, 1e300),
+            np.where(wr > 0, np.inf, 0.0),
+        )
+    keys = np.minimum.accumulate(gains, axis=-1)
+    return gains, keys, wr
+
+
+def _candidate_order(keys: np.ndarray) -> np.ndarray:
+    """Exact heap pop order per problem from the prefix-min key table.
+
+    ``keys`` is ``(..., A, K)``.  Returns flat entry indices
+    (region-major, ``i*K + k``) in pop order: infinite keys first in
+    (segment, region) round-robin, then finite keys in stable
+    descending order (the stable tie-break keeps each region's
+    equal-key run in segment order, adjacent to its leader).  Entries
+    of inactive regions must already carry ``-inf`` keys; they sort to
+    the end, beyond any cut.
+    """
+    lead_shape = keys.shape[:-2]
+    a, k = keys.shape[-2], keys.shape[-1]
+    flat_keys = keys.reshape(lead_shape + (a * k,))
+    order = np.argsort(-flat_keys, axis=-1, kind="stable")
+    inf_mask = np.isposinf(keys)
+    n_inf = inf_mask.sum(axis=(-2, -1))
+    if np.any(n_inf > 0):
+        # Rewrite the leading (region-major) run of infinite entries in
+        # transposed — (segment, region) — order.  np.nonzero on the
+        # transposed mask yields exactly that order, grouped by problem.
+        transposed = np.moveaxis(inf_mask, -1, -2)  # (..., K, A)
+        nz = np.nonzero(transposed)
+        seg_idx, reg_idx = nz[-2], nz[-1]
+        flat_entry = reg_idx * k + seg_idx
+        if lead_shape:
+            problem = np.ravel_multi_index(nz[:-2], lead_shape)
+            offsets = np.concatenate(([0], np.cumsum(n_inf.ravel())))
+            within = np.arange(flat_entry.size) - offsets[problem]
+            order.reshape(-1, a * k)[problem, within] = flat_entry
+        else:
+            order[: flat_entry.size] = flat_entry
+    return order
+
+
+def _expenditure_chain(
+    total_weight: np.ndarray | float, sub_ordered: np.ndarray
+) -> np.ndarray:
+    """``E`` entering each pop: the exact left fold of ``E -= rate·step``.
+
+    ``chain[..., j]`` is the expenditure before pop ``j`` (so
+    ``chain[..., 0]`` is the starting total weight and the array has
+    one more column than pops).  ``np.subtract.accumulate`` performs
+    the identical float subtraction sequence as the scalar loop.
+    """
+    lead = sub_ordered.shape[:-1]
+    start = np.broadcast_to(
+        np.asarray(total_weight, dtype=np.float64)[..., None], lead + (1,)
+    )
+    return np.subtract.accumulate(
+        np.concatenate((start, sub_ordered), axis=-1), axis=-1
+    )
+
+
+def _first_true(flags: np.ndarray, default: int) -> int:
+    """Index of the first True in ``flags``, or ``default`` if none."""
+    if flags.size == 0:
+        return default
+    idx = int(np.argmax(flags))
+    return idx if bool(flags[idx]) else default
+
+
+def _cross_region_tie(
+    keys_ord: np.ndarray, region_ord: np.ndarray, upto: int
+) -> bool:
+    """Any finite key tied across regions that could reorder the prefix?
+
+    Finite equal keys sort adjacently (the sorted keys are
+    non-increasing), so an adjacent-pair scan is exhaustive.  The scan
+    must cover the whole equal-key run straddling the cut boundary:
+    an entry beyond the cut whose key ties a prefix key can truly pop
+    *before* prefix members (FIFO order the sort cannot see).  Such a
+    tie's true order depends on heap push history; the caller must
+    fall back to the reference loop.
+    """
+    hi = min(upto + 1, keys_ord.size)
+    if hi < 2:
+        return False
+    while hi < keys_ord.size and keys_ord[hi] == keys_ord[hi - 1]:
+        hi += 1
+    window = keys_ord[:hi]
+    ties = (
+        (window[1:] == window[:-1])
+        & np.isfinite(window[1:])
+        & (region_ord[1:hi] != region_ord[: hi - 1])
+    )
+    return bool(ties.any())
+
+
+def _met(expenditure: float, budget: float, total_weight: float) -> bool:
+    """The reference loop's final budget test, verbatim."""
+    return expenditure <= budget + max(_EPS, 1e-9 * max(total_weight, 1.0))
+
+
+def greedy_increment_vector(
+    regions: list[RegionStats],
+    pw: PiecewiseLinearReduction,
+    z: float,
+    fairness: float | None,
+    use_speed: bool,
+) -> GreedyResult:
+    """Vector-engine GREEDYINCREMENT for one problem.
+
+    Bit-identical to the reference loop: the array fast path runs while
+    its preconditions provably hold and hands the tail (budget landing,
+    fairness engagement, cross-region gain ties) to the exact scalar
+    continuation or the reference loop itself.
+    """
+    d_min, d_max = pw.delta_min, pw.delta_max
+    l = len(regions)
+    weights = _region_weights(regions, use_speed)
+    m = np.array([reg.m for reg in regions], dtype=np.float64)
+    total_weight = float(weights.sum())
+    budget = z * total_weight
+
+    if fairness is not None and fairness <= 0.0:
+        return _uniform_solution(pw, z, weights, m)
+    if fairness is not None and fairness < (d_max - d_min) * 1e-4:
+        return _uniform_solution(pw, z, weights, m)
+
+    deltas = np.full(l, d_min, dtype=np.float64)
+    if total_weight <= budget + _EPS:
+        return GreedyResult(
+            thresholds=deltas,
+            expenditure=total_weight,
+            budget=budget,
+            inaccuracy=float((m * deltas).sum()),
+            steps=0,
+            budget_met=True,
+        )
+
+    sched = _schedule_for(pw)
+    k = sched.n_entries
+    act = np.flatnonzero(weights > 0)
+    if act.size == 0:
+        # No region can reduce expenditure: the reference heap starts
+        # (and the loop exits) empty.
+        return GreedyResult(
+            thresholds=deltas,
+            expenditure=total_weight,
+            budget=budget,
+            inaccuracy=float((m * deltas).sum()),
+            steps=0,
+            budget_met=_met(total_weight, budget, total_weight),
+        )
+
+    gains, keys, wr = _entry_tables(weights[act], m[act], sched)
+    order = _candidate_order(keys)
+    n_entries = order.size
+    region_ord = order // k
+    entry_ord = order - region_ord * k
+
+    sub_ord = (wr * sched.full_step).reshape(-1)[order]
+    chain = _expenditure_chain(total_weight, sub_ord)
+    term = _first_true(chain <= budget + _EPS, n_entries)
+
+    wr_ord = wr.reshape(-1)[order]
+    fs_ord = sched.full_step[entry_ord]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        land_step = (chain[:-1] - budget) / np.where(
+            wr_ord > 1e-300, wr_ord, 1.0
+        )
+    lands = (wr_ord > 1e-300) & (fs_ord > 0) & (land_step < fs_ord)
+    land = _first_true(lands, n_entries)
+    cut = min(term, land)
+
+    engage = n_entries
+    if fairness is not None:
+        engage = _fairness_engagement(
+            sched, keys, order, entry_ord, fairness,
+            all_active=act.size == l,
+        )
+        cut = min(cut, engage)
+
+    keys_ord = keys.reshape(-1)[order]
+    if _cross_region_tie(keys_ord, region_ord, cut):
+        from repro.core.greedy import greedy_increment
+
+        return greedy_increment(
+            regions, pw, z, increment=None, fairness=fairness,
+            use_speed=use_speed,
+        )
+
+    advancing = fs_ord[:cut] > 0
+    adv_counts = np.bincount(region_ord[:cut][advancing], minlength=act.size)
+    deltas[act] = sched.path_vals[adv_counts]
+    if cut == term:
+        expenditure = float(chain[term])
+        return GreedyResult(
+            thresholds=deltas,
+            expenditure=expenditure,
+            budget=budget,
+            inaccuracy=float((m * deltas).sum()),
+            steps=int(advancing.sum()),
+            budget_met=_met(expenditure, budget, total_weight),
+        )
+
+    if cut == land and cut < engage:
+        # Pure budget landing: the reference performs exactly one more
+        # (partial) pop and the while-condition fails.  Same float
+        # expressions as the scalar loop, so the result is bit-identical.
+        rate = float(wr_ord[cut])
+        step = (float(chain[cut]) - budget) / rate
+        expenditure = float(chain[cut]) - rate * step
+        if expenditure <= budget + _EPS:
+            i_land = int(act[region_ord[cut]])
+            deltas[i_land] = float(sched.delta_at[entry_ord[cut]]) + step
+            return GreedyResult(
+                thresholds=deltas,
+                expenditure=expenditure,
+                budget=budget,
+                inaccuracy=float((m * deltas).sum()),
+                steps=int(advancing.sum()) + 1,
+                budget_met=_met(expenditure, budget, total_weight),
+            )
+
+    return _continue_scalar(
+        pw=pw,
+        weights=weights,
+        m=m,
+        deltas=deltas,
+        expenditure=float(chain[cut]),
+        budget=budget,
+        total_weight=total_weight,
+        steps=int(advancing.sum()),
+        fairness=fairness,
+        act=act,
+        pops_local=region_ord[:cut],
+        counts=np.bincount(region_ord[:cut], minlength=act.size),
+        gains=gains,
+        sched=sched,
+        l=l,
+    )
+
+
+def _fairness_engagement(
+    sched: _SegmentSchedule,
+    keys: np.ndarray,
+    order: np.ndarray,
+    entry_ord: np.ndarray,
+    fairness: float,
+    all_active: bool,
+) -> int:
+    """First pop index at which the fairness constraint *could* act.
+
+    Strictly conservative: before the returned index the reference
+    loop provably never truncates a step against ``Δ⊳ + Δ⇔``, never
+    blocks a region, and never wakes one — so the fairness run is
+    bit-identical to the unconstrained run up to there.  The running
+    minimum ``Δ⊳`` before pop ``j`` is the knot value of the completed
+    round count: round ``r`` completes at the latest position any
+    region pops its r-th entry.  The check substitutes Δ⊳ *before* the
+    pop for the post-pop minimum the reference ``at_limit`` test reads;
+    the minimum is non-decreasing and ``fl`` is monotone, so the
+    substitution only ever engages earlier (never later) than the
+    reference — erring into the exact scalar path.
+    """
+    a, k = keys.shape
+    n = order.size
+    if all_active:
+        inv = np.empty(n, dtype=np.int64)
+        inv[order] = np.arange(n)
+        round_done_at = inv.reshape(a, k).max(axis=0)
+        rounds = np.searchsorted(round_done_at, np.arange(n), side="left")
+        cur_min = sched.path_vals[np.minimum(rounds, sched.n_advances)]
+    else:
+        # Some region never enters the heap: the minimum stays Δ⊢.
+        cur_min = np.full(n, sched.path_vals[0])
+    limit = cur_min + fairness
+    engaged = (
+        (sched.target_at[entry_ord] > limit)
+        | (sched.new_at[entry_ord] >= limit - _EPS)
+        | (sched.full_step[entry_ord] <= 0)
+    )
+    return _first_true(engaged, n)
+
+
+def _continue_scalar(
+    pw: PiecewiseLinearReduction,
+    weights: np.ndarray,
+    m: np.ndarray,
+    deltas: np.ndarray,
+    expenditure: float,
+    budget: float,
+    total_weight: float,
+    steps: int,
+    fairness: float | None,
+    act: np.ndarray,
+    pops_local: np.ndarray,
+    counts: np.ndarray,
+    gains: np.ndarray,
+    sched: _SegmentSchedule,
+    l: int,
+) -> GreedyResult:
+    """Finish a run exactly: the reference loop from reconstructed state.
+
+    ``act`` maps local (active-subset) region indices to problem
+    indices; ``pops_local``, ``counts``, and ``gains`` are local.  The
+    heap is rebuilt with order-preserving counters — regions never
+    popped keep their initial push rank, re-pushed regions are ordered
+    by the position of their latest pop — so every future FIFO
+    tie-break matches the uninterrupted run (the prefix was verified
+    tie-free, making the reconstruction unambiguous).
+    """
+    d_min, d_max = pw.delta_min, pw.delta_max
+    seg = pw.segment_size
+    w_l = weights.tolist()
+    m_l = m.tolist()
+    deltas_l = deltas.tolist()
+    cut = pops_local.size
+
+    # Sorted-list multiset: same float values as the reference
+    # _MinMultiset (both report the exact minimum of the same multiset),
+    # but with O(1) min for the hot loop.
+    ordered = sorted(deltas_l)
+    insort = bisect.insort
+    bsearch = bisect.bisect_left
+    blocked: dict[int, bool] = {}
+    heap: list[tuple[float, int, int]] = []
+    k = sched.n_entries
+    last_pop_pos = np.full(act.size, -1, dtype=np.int64)
+    if cut:
+        np.maximum.at(last_pop_pos, pops_local, np.arange(cut))
+    for local, i in enumerate(act):
+        cnt = int(counts[local])
+        if cnt >= k:
+            if sched.full_step[k - 1] <= 0:
+                blocked[int(i)] = True  # popped its blocked-terminal entry
+            continue  # else retired at Δ⊣
+        counter = local if cnt == 0 else l + int(last_pop_pos[local])
+        heap.append((-float(gains[local, cnt]), counter, int(i)))
+    heapq.heapify(heap)
+    counter = l + cut + 1
+
+    # Inlined PiecewiseLinearReduction.r for in-domain deltas: same
+    # segment-index expression, same clamps, same rate list.  Regions
+    # march the same knot path, so per-delta knot/rate pairs repeat
+    # constantly; the memo returns the identical floats.
+    rates: list[float] = pw._rates
+    last_seg = len(rates) - 1
+    knot_memo: dict[float, tuple[float, float]] = {}
+
+    def knot_info(old: float) -> tuple[float, float]:
+        got = knot_memo.get(old)
+        if got is None:
+            next_knot = d_min + seg * (math.floor((old - d_min) / seg + 1e-7) + 1)
+            if old >= d_max:
+                rate0 = rates[last_seg]
+            else:
+                idx = int((old - d_min) / seg)
+                rate0 = rates[
+                    idx if 0 <= idx <= last_seg else (0 if idx < 0 else last_seg)
+                ]
+            got = (min(next_knot, d_max), rate0)
+            knot_memo[old] = got
+        return got
+
+    def gain(i: int, delta: float) -> float:
+        rate = w_l[i] * knot_info(delta)[1]
+        if m_l[i] > 1e-300:
+            return min(rate / m_l[i], 1e300)
+        return math.inf if rate > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # Mirror of the reference loop in repro.core.greedy.greedy_increment
+    # (same expressions in the same order — keep the two in sync).
+    # ------------------------------------------------------------------
+    heappop, heappush = heapq.heappop, heapq.heappush
+    while expenditure > budget + _EPS and heap:
+        _, _, i = heappop(heap)
+        old = deltas_l[i]
+        current_min = ordered[0]
+        target, rate = knot_info(old)
+        if fairness is not None:
+            target = min(target, current_min + fairness)
+        step = target - old
+        if step <= _EPS:
+            blocked[i] = True
+            continue
+        rate = w_l[i] * rate
+        if rate > 1e-300:
+            step = min(step, (expenditure - budget) / rate)
+        new = old + step
+        expenditure -= rate * step
+        deltas_l[i] = new
+        del ordered[bsearch(ordered, old)]
+        insort(ordered, new)
+        steps += 1
+
+        at_limit = fairness is not None and new >= ordered[0] + fairness - _EPS
+        if new >= d_max - _EPS:
+            pass  # throttler maxed out; retired
+        elif at_limit:
+            blocked[i] = True
+        else:
+            heappush(heap, (-gain(i, new), counter, i))
+            counter += 1
+
+        new_min = ordered[0]
+        if fairness is not None and new_min > current_min + _EPS and blocked:
+            for j in list(blocked):
+                if deltas_l[j] < new_min + fairness - _EPS:
+                    del blocked[j]
+                    heappush(heap, (-gain(j, deltas_l[j]), counter, j))
+                    counter += 1
+
+    out = np.array(deltas_l, dtype=np.float64)
+    return GreedyResult(
+        thresholds=out,
+        expenditure=expenditure,
+        budget=budget,
+        inaccuracy=float((m * out).sum()),
+        steps=steps,
+        budget_met=_met(expenditure, budget, total_weight),
+    )
+
+
+def greedy_increment_batch(
+    problems: list[list[RegionStats]],
+    pw: PiecewiseLinearReduction,
+    z: float,
+    use_speed: bool,
+) -> list[GreedyResult]:
+    """Vector-engine GREEDYINCREMENT over same-size problems at once.
+
+    Convenience wrapper over :func:`greedy_increment_arrays` for
+    callers holding :class:`RegionStats` objects.
+    """
+    if not problems:
+        return []
+    sizes = {len(p) for p in problems}
+    if len(sizes) != 1:
+        raise ValueError("batched problems must share a region count")
+    (a,) = sizes
+    if a == 0:
+        raise ValueError("at least one region is required per problem")
+    p_count = len(problems)
+    n = np.empty((p_count, a), dtype=np.float64)
+    m = np.empty((p_count, a), dtype=np.float64)
+    s = np.empty((p_count, a), dtype=np.float64)
+    for row, regions in enumerate(problems):
+        n[row] = [reg.n for reg in regions]
+        m[row] = [reg.m for reg in regions]
+        s[row] = [reg.s for reg in regions]
+    return greedy_increment_arrays(n, m, s, pw, z, use_speed)
+
+
+def greedy_increment_arrays(
+    n: np.ndarray,
+    m: np.ndarray,
+    s: np.ndarray,
+    pw: PiecewiseLinearReduction,
+    z: float,
+    use_speed: bool,
+) -> list[GreedyResult]:
+    """GREEDYINCREMENT over ``(P, A)`` stacked problem statistics.
+
+    GRIDREDUCE's CALCERRGAIN scores one four-child throttler problem
+    per candidate node; this entry point shares the sort/accumulate
+    machinery across all problems of one expansion (fairness is never
+    constrained inside CALCERRGAIN) and assembles every clean row with
+    pure array reductions — no per-row kernel work.  Rows the sort
+    cannot prove (cross-region key ties, a landing pop that leaves a
+    float residue above the budget tolerance) resolve in the exact
+    scalar continuation.  Results are bit-identical to running the
+    reference loop per problem, and independent of how problems are
+    grouped into batches (every op is row-local).
+    """
+    n = np.asarray(n, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    p_count, a = n.shape
+    sched = _schedule_for(pw)
+    k = sched.n_entries
+
+    # _region_weights, vectorized over rows: nᵢ·sᵢ, falling back to nᵢ
+    # for rows whose speed-weighted mass vanishes.
+    if use_speed:
+        weights = n * np.asarray(s, dtype=np.float64)
+        fallback = (weights.sum(axis=1) <= 0) & (n.sum(axis=1) > 0)
+        if fallback.any():
+            weights = np.where(fallback[:, None], n, weights)
+    else:
+        weights = n
+    totals = weights.sum(axis=1)
+    budgets = z * totals
+
+    gains, keys, wr = _entry_tables(weights, m, sched)
+    active = weights > 0
+    n_live = active.sum(axis=1) * k
+    if not active.all():
+        keys = np.where(active[..., None], keys, -np.inf)
+    order = _candidate_order(keys)
+    n_total = a * k
+    ord_flat = order + (np.arange(p_count) * n_total)[:, None]
+    region_ord = order // k
+    entry_ord = order - region_ord * k
+    wr_ord = wr.reshape(-1)[ord_flat]
+    fs_ord = sched.full_step[entry_ord]
+    # Gather-then-multiply equals multiply-then-gather bit for bit.
+    sub_ord = wr_ord * fs_ord
+    if (weights < 0).any():
+        # Negative-weight regions are inactive (never pushed); zero
+        # their subtrahends so the chain tail stays non-increasing for
+        # the suffix-count term test.  Live-prefix values are untouched.
+        sub_ord = np.where(wr_ord > 0, sub_ord, 0.0)
+    chain = _expenditure_chain(totals, sub_ord)
+
+    fs_pos = fs_ord > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        land_step = (chain[:, :-1] - budgets[:, None]) / np.where(
+            wr_ord > 1e-300, wr_ord, 1.0
+        )
+    lands = (wr_ord > 1e-300) & fs_pos & (land_step < fs_ord)
+
+    # Per-row cuts.  ``term``: the while-condition fails before pop j
+    # (including j = n_live, heap exhaustion) — the chain is
+    # non-increasing, so the first sub-budget index is a suffix count.
+    # ``land``: pop j is a partial budget landing (entries of inactive
+    # regions carry zero rates, so none land beyond the live prefix).
+    pos = np.arange(n_total)
+    term = np.minimum(
+        (n_total + 1) - (chain <= budgets[:, None] + _EPS).sum(axis=1),
+        n_live,
+    )
+    land_first = np.where(
+        lands.any(axis=1), lands.argmax(axis=1), n_total
+    )
+    cut = np.minimum(term, land_first)
+
+    # _cross_region_tie, vectorized: extend the scan window through the
+    # whole equal-key run straddling the cut, then test for any
+    # cross-region finite tie inside it.  No adjacent finite
+    # cross-region equality anywhere (the usual case) means no row can
+    # tie regardless of its cut.
+    keys_ord = keys.reshape(-1)[ord_flat]
+    eq = keys_ord[:, 1:] == keys_ord[:, :-1]
+    tie_pair = (
+        eq
+        & np.isfinite(keys_ord[:, 1:])
+        & (region_ord[:, 1:] != region_ord[:, :-1])
+    )
+    if tie_pair.any():
+        run_end = (~eq) & (pos[None, : n_total - 1] >= cut[:, None])
+        hi = np.where(
+            run_end.any(axis=1), run_end.argmax(axis=1) + 1, n_total
+        )
+        first_tie = np.where(
+            tie_pair.any(axis=1), tie_pair.argmax(axis=1), n_total
+        )
+        tie_rows = first_tie <= hi - 2
+    else:
+        tie_rows = np.zeros(p_count, dtype=bool)
+
+    # Clean-row assembly: thresholds from per-region advance counts,
+    # one scattered partial step for landing rows.
+    adv_mask = (pos[None, :] < cut[:, None]) & fs_pos
+    flat_reg = (region_ord + (np.arange(p_count) * a)[:, None])[adv_mask]
+    counts = np.bincount(flat_reg, minlength=p_count * a).reshape(p_count, a)
+    deltas = sched.path_vals[counts]
+    rowsel = np.arange(p_count)
+    cut_c = np.minimum(cut, n_total - 1)
+    exp_at = chain[rowsel, cut]
+    is_land = cut < term
+    rate = wr_ord[rowsel, cut_c]
+    step_land = (exp_at - budgets) / np.where(rate > 1e-300, rate, 1.0)
+    exp_land = exp_at - rate * step_land
+    land_ok = is_land & (exp_land <= budgets + _EPS)
+    land_rows = np.flatnonzero(land_ok)
+    if land_rows.size:
+        deltas[land_rows, region_ord[land_rows, cut[land_rows]]] = (
+            sched.delta_at[entry_ord[land_rows, cut[land_rows]]]
+            + step_land[land_rows]
+        )
+    expenditure = np.where(land_ok, exp_land, chain[rowsel, term])
+    inaccuracy = (m * deltas).sum(axis=1)
+    steps = counts.sum(axis=1) + land_ok
+    met = expenditure <= budgets + np.maximum(
+        _EPS, 1e-9 * np.maximum(totals, 1.0)
+    )
+
+    need_slow = tie_rows | (is_land & ~land_ok)
+    results: list[GreedyResult | None] = [None] * p_count
+    for row in range(p_count):
+        if need_slow[row]:
+            continue
+        results[row] = GreedyResult(
+            thresholds=deltas[row].copy(),
+            expenditure=float(expenditure[row]),
+            budget=float(budgets[row]),
+            inaccuracy=float(inaccuracy[row]),
+            steps=int(steps[row]),
+            budget_met=bool(met[row]),
+        )
+
+    for row in np.flatnonzero(need_slow):
+        # Tie rows restart the reference loop from scratch (pop order
+        # ambiguous); residue rows continue it from the verified cut.
+        start = 0 if tie_rows[row] else int(cut[row])
+        act = np.flatnonzero(active[row])
+        local_of = np.zeros(a, dtype=np.int64)
+        local_of[act] = np.arange(act.size)
+        pops_local = local_of[region_ord[row, :start]]
+        advancing = fs_ord[row, :start] > 0
+        adv_counts = np.bincount(pops_local[advancing], minlength=act.size)
+        row_deltas = np.full(a, pw.delta_min, dtype=np.float64)
+        row_deltas[act] = sched.path_vals[adv_counts]
+        results[row] = _continue_scalar(
+            pw=pw,
+            weights=weights[row],
+            m=m[row],
+            deltas=row_deltas,
+            expenditure=float(chain[row, start]),
+            budget=float(budgets[row]),
+            total_weight=float(totals[row]),
+            steps=int(advancing.sum()),
+            fairness=None,
+            act=act,
+            pops_local=pops_local,
+            counts=np.bincount(pops_local, minlength=act.size),
+            gains=gains[row][act],
+            sched=sched,
+            l=a,
+        )
+    return results  # type: ignore[return-value]

@@ -90,6 +90,55 @@ def calc_err_gain(
     return max(0.0, e_single - result.inaccuracy)
 
 
+def _calc_err_gain_batch(
+    hierarchy: RegionHierarchy,
+    nodes: list[RegionNode],
+    z: float,
+    reduction: ReductionFunction,
+    pw: PiecewiseLinearReduction,
+    use_speed: bool,
+) -> list[float]:
+    """CALCERRGAIN for several candidate nodes in one array pass.
+
+    The vector engine's counterpart of :func:`calc_err_gain`: all
+    four-child throttler problems of one expansion share a single
+    sort/accumulate kernel invocation
+    (:func:`repro.core.greedy_vector.greedy_increment_arrays`), which
+    is bit-identical to the per-node reference loop.
+    """
+    import numpy as np
+
+    from repro.core.greedy_vector import greedy_increment_arrays
+
+    gains = [0.0] * len(nodes)
+    which = [
+        t
+        for t, node in enumerate(nodes)
+        if not (hierarchy.is_leaf(node) or node.m <= 0.0 or node.n <= 0.0)
+    ]
+    if not which:
+        return gains
+    single_delta = reduction.delta_for_fraction(z)
+    # Gather each candidate's four child statistics straight from the
+    # hierarchy's level arrays (row-major 2x2 block order, matching
+    # RegionHierarchy.children) — no RegionNode/RegionStats boxing.
+    by_level: dict[int, list[int]] = {}
+    for t in which:
+        by_level.setdefault(nodes[t].level + 1, []).append(t)
+    di = np.array([0, 0, 1, 1])
+    dj = np.array([0, 1, 0, 1])
+    for child_level, ts in by_level.items():
+        n_lv, m_lv, s_lv = hierarchy.level_stats(child_level)
+        ii = np.array([[2 * nodes[t].i] for t in ts]) + di
+        jj = np.array([[2 * nodes[t].j] for t in ts]) + dj
+        results = greedy_increment_arrays(
+            n_lv[ii, jj], m_lv[ii, jj], s_lv[ii, jj], pw, z, use_speed
+        )
+        for t, result in zip(ts, results):
+            gains[t] = max(0.0, nodes[t].m * single_delta - result.inaccuracy)
+    return gains
+
+
 def grid_reduce(
     hierarchy: RegionHierarchy,
     l: int,
@@ -97,6 +146,7 @@ def grid_reduce(
     reduction: ReductionFunction,
     increment: float | None = None,
     use_speed: bool = True,
+    engine: str = "object",
 ) -> PartitioningResult:
     """Compute the ``(α, l)``-partitioning of the space.
 
@@ -105,20 +155,42 @@ def grid_reduce(
     Nodes that are statistics-grid cells (leaves) can no longer be split
     and are set aside.  Stops at ``effective_region_count(l)`` regions,
     or earlier if every remaining region is a leaf.
+
+    ``engine="vector"`` scores each expansion's children with the
+    batched array kernel instead of per-node scalar greedy loops; the
+    resulting partitioning is bit-identical.
     """
     if isinstance(reduction, PiecewiseLinearReduction) and increment is None:
         increment = reduction.segment_size
+    if engine not in ("object", "vector"):
+        raise ValueError(f"unknown gridreduce engine {engine!r}")
     target = effective_region_count(l)
 
-    def gain_of(node: RegionNode) -> float:
-        return calc_err_gain(
-            hierarchy, node, z, reduction, increment=increment, use_speed=use_speed
-        )
+    if engine == "vector":
+        from repro.core.greedy import _as_piecewise
+
+        pw = _as_piecewise(reduction, increment)
+
+        def gains_of(batch: list[RegionNode]) -> list[float]:
+            return _calc_err_gain_batch(
+                hierarchy, batch, z, reduction, pw, use_speed
+            )
+
+    else:
+
+        def gains_of(batch: list[RegionNode]) -> list[float]:
+            return [
+                calc_err_gain(
+                    hierarchy, node, z, reduction,
+                    increment=increment, use_speed=use_speed,
+                )
+                for node in batch
+            ]
 
     counter = 0
     heap: list[tuple[float, int, RegionNode]] = []
     root = hierarchy.root
-    heapq.heappush(heap, (-gain_of(root), counter, root))
+    heapq.heappush(heap, (-gains_of([root])[0], counter, root))
     counter += 1
     finished: list[RegionNode] = []
     expansions = 0
@@ -128,8 +200,9 @@ def grid_reduce(
         if hierarchy.is_leaf(node):
             finished.append(node)
             continue
-        for child in hierarchy.children(node):
-            heapq.heappush(heap, (-gain_of(child), counter, child))
+        children = list(hierarchy.children(node))
+        for child, child_gain in zip(children, gains_of(children)):
+            heapq.heappush(heap, (-child_gain, counter, child))
             counter += 1
         expansions += 1
 

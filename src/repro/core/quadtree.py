@@ -120,6 +120,21 @@ class RegionHierarchy:
         """Total node count ``(4^(depth+1) − 1) / 3``."""
         return (4 ** (self.depth + 1) - 1) // 3
 
+    def level_stats(self, level: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The ``(n, m, s)`` statistic arrays of one level (2^d × 2^d).
+
+        Array-engine consumers read node statistics straight from these
+        (the same float64 values :meth:`node` boxes into
+        :class:`RegionNode` objects) instead of materializing nodes.
+        """
+        if not (0 <= level <= self.depth):
+            raise IndexError(f"no level {level} in a depth-{self.depth} hierarchy")
+        return (
+            self._n_levels[level],
+            self._m_levels[level],
+            self._s_levels[level],
+        )
+
 
 def _block_sum(array: np.ndarray) -> np.ndarray:
     """Sum each 2x2 block of a 2^k-square array (one level of aggregation)."""

@@ -48,6 +48,8 @@ class LiraLoadShedder:
             once into κ = ``config.n_segments`` linear segments of size
             c_Δ, the form under which GREEDYINCREMENT is optimal.
         queue_capacity: B for the embedded THROTLOOP controller.
+        engine: ``"object"`` runs the scalar reference kernels,
+            ``"vector"`` the bit-identical array kernels.
     """
 
     def __init__(
@@ -55,6 +57,7 @@ class LiraLoadShedder:
         config: LiraConfig,
         reduction: ReductionFunction,
         queue_capacity: int = 100,
+        engine: str = "object",
     ) -> None:
         if not (
             reduction.delta_min == config.delta_min
@@ -64,8 +67,11 @@ class LiraLoadShedder:
                 "reduction function domain must match config "
                 f"[{config.delta_min}, {config.delta_max}]"
             )
+        if engine not in ("object", "vector"):
+            raise ValueError(f"unknown shedder engine {engine!r}")
         self.config = config
         self.reduction = reduction.piecewise(config.n_segments)
+        self.engine = engine
         self.throtloop = ThrotLoop(queue_capacity=queue_capacity, z=1.0)
         self._fixed_z: float | None = config.z
         self.last_report: AdaptationReport | None = None
@@ -111,6 +117,7 @@ class LiraLoadShedder:
                 self.reduction,
                 increment=self.config.increment,
                 use_speed=self.config.use_speed,
+                engine=self.engine,
             )
             result = greedy_increment(
                 partitioning.regions,
@@ -119,6 +126,7 @@ class LiraLoadShedder:
                 increment=self.config.increment,
                 fairness=self.config.fairness,
                 use_speed=self.config.use_speed,
+                engine=self.engine,
             )
             plan = SheddingPlan.from_regions(
                 bounds=grid.bounds,

@@ -216,18 +216,28 @@ class StatisticsGrid:
         ``expected_updates_per_node`` converts raw update counts into
         node-count estimates (a node reporting k times in the window
         contributes k updates).  Mean speeds are per-update averages.
-        The accumulators are cleared for the next window.
+
+        Allocation-free: the statistics are finalized *inside* the
+        accumulator buffers, which then become the live ``n``/``s``
+        arrays, while the previous live buffers are zeroed and recycled
+        as the next accumulation window (double buffering).  A
+        reference to ``grid.n`` taken before a roll therefore aliases a
+        future accumulator — copy it if it must survive the next window.
         """
         if expected_updates_per_node <= 0:
             raise ValueError("expected_updates_per_node must be positive")
+        acc_count, acc_speed = self._acc_count, self._acc_speed
+        # A cell's speed sum is zero wherever its update count is zero
+        # (both accumulate together), so dividing by max(count, 1)
+        # everywhere gives exactly the old where(count > 0, ...) result.
         with np.errstate(invalid="ignore", divide="ignore"):
-            mean_speed = np.where(
-                self._acc_count > 0, self._acc_speed / np.maximum(self._acc_count, 1), 0.0
-            )
-        self.n = self._acc_count / expected_updates_per_node
-        self.s = mean_speed
-        self._acc_count = np.zeros_like(self._acc_count)
-        self._acc_speed = np.zeros_like(self._acc_speed)
+            np.divide(acc_speed, np.maximum(acc_count, 1.0), out=acc_speed)
+        acc_count /= expected_updates_per_node
+        previous_n, previous_s = self.n, self.s
+        self.n, self.s = acc_count, acc_speed
+        previous_n[:] = 0.0
+        previous_s[:] = 0.0
+        self._acc_count, self._acc_speed = previous_n, previous_s
         self._acc_updates = 0
 
     # ------------------------------------------------------------------

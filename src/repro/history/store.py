@@ -9,46 +9,20 @@ at any past time (the model that was active then, extrapolated).
 
 The reconstruction error at time ``t`` is bounded by the Δ the node was
 using around ``t`` — which is exactly what the fairness threshold caps.
+
+Storage is columnar (struct-of-arrays): one global append-only log of
+``(time, node_id, position, velocity)`` rows plus per-node counters, so
+:meth:`TrajectoryStore.record` is a handful of array writes per batch
+instead of a Python loop over senders.  Because every batch is
+validated to be in time order *per node*, each node's rows appear in
+the log already time-sorted; the per-node view needed by the query
+methods is a CSR index (stable argsort by node id + prefix sums of the
+report counts) rebuilt lazily on the first query after an append.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
-
 import numpy as np
-
-
-@dataclass
-class _NodeHistory:
-    """Per-node archive of received reports, sorted by report time."""
-
-    times: list[float] = field(default_factory=list)
-    positions: list[tuple[float, float]] = field(default_factory=list)
-    velocities: list[tuple[float, float]] = field(default_factory=list)
-
-    def append(self, t: float, pos: tuple[float, float], vel: tuple[float, float]) -> None:
-        if self.times and t < self.times[-1]:
-            raise ValueError(
-                f"reports must arrive in time order (got {t} after {self.times[-1]})"
-            )
-        self.times.append(t)
-        self.positions.append(pos)
-        self.velocities.append(vel)
-
-    def model_index_at(self, t: float) -> int | None:
-        """Index of the report whose model was active at time ``t``."""
-        idx = bisect.bisect_right(self.times, t) - 1
-        return idx if idx >= 0 else None
-
-    def position_at(self, t: float) -> tuple[float, float] | None:
-        idx = self.model_index_at(t)
-        if idx is None:
-            return None
-        dt = t - self.times[idx]
-        px, py = self.positions[idx]
-        vx, vy = self.velocities[idx]
-        return (px + vx * dt, py + vy * dt)
 
 
 class TrajectoryStore:
@@ -63,8 +37,31 @@ class TrajectoryStore:
         if n_nodes <= 0:
             raise ValueError("n_nodes must be positive")
         self.n_nodes = n_nodes
-        self._histories = [_NodeHistory() for _ in range(n_nodes)]
+        self._capacity = 1024
+        self._times = np.empty(self._capacity, dtype=np.float64)
+        self._ids = np.empty(self._capacity, dtype=np.int64)
+        self._positions = np.empty((self._capacity, 2), dtype=np.float64)
+        self._velocities = np.empty((self._capacity, 2), dtype=np.float64)
+        self._size = 0
+        self._counts = np.zeros(n_nodes, dtype=np.int64)
+        self._last_time = np.full(n_nodes, -np.inf)
+        self._first_time = np.full(n_nodes, np.nan)
+        # Lazy CSR view of the log grouped by node (row order within a
+        # node is report-time order, because appends are).
+        self._order: np.ndarray | None = None
+        self._indptr: np.ndarray | None = None
         self.total_reports = 0
+
+    def _grow(self, needed: int) -> None:
+        capacity = self._capacity
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_times", "_ids", "_positions", "_velocities"):
+            old = getattr(self, name)
+            new = np.empty((capacity,) + old.shape[1:], dtype=old.dtype)
+            new[: self._size] = old[: self._size]
+            setattr(self, name, new)
+        self._capacity = capacity
 
     def record(
         self,
@@ -73,19 +70,52 @@ class TrajectoryStore:
         positions: np.ndarray,
         velocities: np.ndarray,
     ) -> None:
-        """Archive a batch of reports received at time ``t``."""
+        """Archive a batch of reports received at time ``t``.
+
+        The whole batch is validated against per-node time order before
+        anything is appended; a late report raises ``ValueError`` and
+        leaves the archive unchanged.
+        """
         node_ids = np.asarray(node_ids, dtype=np.int64)
-        for k, node_id in enumerate(node_ids):
-            self._histories[int(node_id)].append(
-                t,
-                (float(positions[k, 0]), float(positions[k, 1])),
-                (float(velocities[k, 0]), float(velocities[k, 1])),
+        if node_ids.size == 0:
+            return
+        late = t < self._last_time[node_ids]
+        if late.any():
+            bad = node_ids[int(np.argmax(late))]
+            raise ValueError(
+                f"reports must arrive in time order "
+                f"(got {t} after {float(self._last_time[bad])})"
             )
+        end = self._size + node_ids.size
+        if end > self._capacity:
+            self._grow(end)
+        grew = slice(self._size, end)
+        self._times[grew] = t
+        self._ids[grew] = node_ids
+        self._positions[grew] = positions
+        self._velocities[grew] = velocities
+        self._size = end
+        fresh = np.isnan(self._first_time[node_ids])
+        if fresh.any():
+            self._first_time[node_ids[fresh]] = t
+        self._last_time[node_ids] = t
+        self._counts += np.bincount(node_ids, minlength=self.n_nodes)
         self.total_reports += int(node_ids.size)
+        self._order = None
+
+    def _csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Log rows grouped by node: ``order[indptr[i]:indptr[i+1]]``."""
+        if self._order is None:
+            self._order = np.argsort(self._ids[: self._size], kind="stable")
+            indptr = np.zeros(self.n_nodes + 1, dtype=np.int64)
+            np.cumsum(self._counts, out=indptr[1:])
+            self._indptr = indptr
+        assert self._indptr is not None
+        return self._order, self._indptr
 
     def reports_for(self, node_id: int) -> int:
         """Number of archived reports for one node."""
-        return len(self._histories[node_id].times)
+        return int(self._counts[node_id])
 
     def believed_position(self, node_id: int, t: float) -> tuple[float, float] | None:
         """The server's belief of where ``node_id`` was at time ``t``.
@@ -93,17 +123,44 @@ class TrajectoryStore:
         ``None`` if no model was active yet (before the node's first
         report).
         """
-        return self._histories[node_id].position_at(t)
+        if self._counts[node_id] == 0:
+            return None
+        order, indptr = self._csr()
+        rows = order[indptr[node_id] : indptr[node_id + 1]]
+        idx = int(np.searchsorted(self._times[rows], t, side="right")) - 1
+        if idx < 0:
+            return None
+        row = rows[idx]
+        dt = t - self._times[row]
+        return (
+            float(self._positions[row, 0] + self._velocities[row, 0] * dt),
+            float(self._positions[row, 1] + self._velocities[row, 1] * dt),
+        )
 
     def believed_snapshot(self, t: float) -> np.ndarray:
-        """Believed positions of all nodes at time ``t``; NaN where unknown."""
+        """Believed positions of all nodes at time ``t``; NaN where unknown.
+
+        One pass over the log: per node, the report active at ``t`` is
+        the ``k``-th of its rows where ``k`` counts the node's reports
+        with time ``<= t`` (its rows are time-sorted), so the whole
+        gather is a masked bincount + one fancy index.
+        """
         out = np.full((self.n_nodes, 2), np.nan)
-        for node_id, history in enumerate(self._histories):
-            pos = history.position_at(t)
-            if pos is not None:
-                out[node_id] = pos
+        if self._size == 0:
+            return out
+        order, indptr = self._csr()
+        mask = self._times[: self._size] <= t
+        active_count = np.bincount(
+            self._ids[: self._size][mask], minlength=self.n_nodes
+        )
+        have = active_count > 0
+        if have.any():
+            rows = order[indptr[:-1][have] + active_count[have] - 1]
+            dt = (t - self._times[rows])[:, None]
+            out[have] = self._positions[rows] + self._velocities[rows] * dt
         return out
 
     def first_report_time(self, node_id: int) -> float | None:
-        history = self._histories[node_id]
-        return history.times[0] if history.times else None
+        if self._counts[node_id] == 0:
+            return None
+        return float(self._first_time[node_id])

@@ -185,7 +185,22 @@ class StationAssigner:
         iy = ((y - b.y1) / self._cell_h).astype(np.int64)
         np.clip(ix, 0, self.resolution - 1, out=ix)
         np.clip(iy, 0, self.resolution - 1, out=iy)
-        return self._resolve(x, y, self._candidates[ix * self.resolution + iy])
+        cells = ix * self.resolution + iy
+        # Single-candidate cells need no distance computation at all:
+        # the lone candidate wins whether or not it covers the point
+        # (nearest-covering and nearest-overall coincide).  Only the
+        # contested remainder pays the gather + hypot.
+        single = self._n_candidates[cells] == 1
+        if single.all():
+            return self._candidates[cells, 0]
+        slots = np.empty(x.size, dtype=np.int64)
+        idx_single = np.flatnonzero(single)
+        idx_multi = np.flatnonzero(~single)
+        slots[idx_single] = self._candidates[cells[idx_single], 0]
+        slots[idx_multi] = self._resolve(
+            x[idx_multi], y[idx_multi], self._candidates[cells[idx_multi]]
+        )
+        return slots
 
     def _assign_exhaustive(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
         cand = np.broadcast_to(
@@ -369,29 +384,44 @@ class VectorNodeEngine:
         active: np.ndarray | None,
         default: float,
     ) -> np.ndarray:
-        """Per-node Δ for one tick; inactive nodes get ``inf``."""
-        thresholds = np.full(self.n_nodes, np.inf, dtype=np.float64)
-        if active is None:
-            act = np.arange(self.n_nodes, dtype=np.int64)
+        """Per-node Δ for one tick; inactive nodes get ``inf``.
+
+        The common case (no churn: every node active) updates the state
+        arrays in place with boolean masks; only the churn path pays the
+        active-subset gathers and scatters.
+        """
+        full = active is None
+        act = None if full else np.flatnonzero(active)
+        if not full:
+            thresholds = np.full(self.n_nodes, np.inf, dtype=np.float64)
+            if act.size == 0:
+                return thresholds
+        if full:
+            x = np.ascontiguousarray(positions[:, 0], dtype=np.float64)
+            y = np.ascontiguousarray(positions[:, 1], dtype=np.float64)
         else:
-            act = np.flatnonzero(active)
-        if act.size == 0:
-            return thresholds
-        x = np.ascontiguousarray(positions[act, 0], dtype=np.float64)
-        y = np.ascontiguousarray(positions[act, 1], dtype=np.float64)
+            x = np.ascontiguousarray(positions[act, 0], dtype=np.float64)
+            y = np.ascontiguousarray(positions[act, 1], dtype=np.float64)
 
         slots = self.assigner.assign(x, y)
-        previous = self._station_slot[act]
+        previous = self._station_slot if full else self._station_slot[act]
         changed = slots != previous
         handoff = changed & (previous >= 0)
-        if handoff.any():
-            self.total_handoffs += int(handoff.sum())
-            self._handoffs[act[handoff]] += 1
-        self._station_slot[act] = slots
+        n_handoffs = int(np.count_nonzero(handoff))
+        if n_handoffs:
+            self.total_handoffs += n_handoffs
+            if full:
+                self._handoffs[handoff] += 1
+            else:
+                self._handoffs[act[handoff]] += 1
+        if full:
+            self._station_slot = slots.copy()
+        else:
+            self._station_slot[act] = slots
 
         versions, subsets = self._station_state()
         slot_version = versions[slots]
-        installed = self._installed_version[act]
+        installed = self._installed_version if full else self._installed_version[act]
         # Hand-off: adopt the new station's subset (or clear on a lost
         # broadcast).  Same station: re-install only when the broadcast
         # version advanced past the stored one.
@@ -399,25 +429,39 @@ class VectorNodeEngine:
         install |= (~changed) & (slot_version >= 0) & (slot_version != installed)
         clear = changed & (slot_version < 0)
         if install.any():
-            self._installs[act[install]] += 1
-            self._installed_version[act[install]] = slot_version[install]
+            where = install if full else act[install]
+            self._installs[where] += 1
+            self._installed_version[where] = slot_version[install]
         if clear.any():
-            self._installed_version[act[clear]] = -1
+            self._installed_version[clear if full else act[clear]] = -1
 
         # Threshold gather: one raster lookup per station that currently
         # serves nodes with an installed subset; everyone else is Δ⊢.
-        out = np.full(act.size, default, dtype=np.float64)
-        have = self._installed_version[act] >= 0
-        if have.any():
-            have_slots = slots[have]
-            for slot in np.unique(have_slots):
-                raster = self._raster_for(int(slot), subsets[slot])
+        # Nodes are grouped by station with one stable argsort instead
+        # of a fresh full-length mask per station.
+        out = np.full(x.size, default, dtype=np.float64)
+        stored = self._installed_version if full else self._installed_version[act]
+        idx_have = np.flatnonzero(stored >= 0)
+        if idx_have.size:
+            groups = slots[idx_have]
+            order = np.argsort(groups, kind="stable")
+            sorted_idx = idx_have[order]
+            sorted_groups = groups[order]
+            starts = np.concatenate(
+                [[0], np.flatnonzero(np.diff(sorted_groups)) + 1, [order.size]]
+            )
+            for g in range(starts.size - 1):
+                lo, hi = starts[g], starts[g + 1]
+                slot = int(sorted_groups[lo])
+                raster = self._raster_for(slot, subsets[slot])
                 if raster is None:
                     continue  # empty subset: conservative default
-                mask = have.copy()
-                mask[have] = have_slots == slot
-                out[mask] = raster.thresholds_at(x[mask], y[mask], default)
-        thresholds[act] = out
+                sel = sorted_idx[lo:hi]
+                out[sel] = raster.thresholds_at(x[sel], y[sel], default)
+        if full:
+            thresholds = out
+        else:
+            thresholds[act] = out
         return thresholds
 
     # ------------------------------------------------------------------

@@ -147,13 +147,18 @@ class LiraSystem:
             batch_ingest=engine == "vector",
         )
         self.shedder = LiraLoadShedder(
-            self.config, reduction, queue_capacity=queue_capacity
+            self.config, reduction, queue_capacity=queue_capacity, engine=engine
         )
         if adaptive_throttle:
             self.shedder.use_adaptive_throttle()
+        # A null-spec injector is contractually a no-op (every seam
+        # passes batches through untouched), so the tick path skips the
+        # fault seams entirely and only maintains the injector's O(1)
+        # uplink bookkeeping — zero overhead versus ``faults=None``.
+        self._faults_null = faults is not None and faults.spec.is_null
         self.network = BaseStationNetwork(
             stations or place_uniform_stations(bounds, station_radius),
-            downlink=faults if faults is not None else None,
+            downlink=faults if faults is not None and not self._faults_null else None,
         )
         self.node_engine: ObjectNodeEngine | VectorNodeEngine
         if engine == "vector":
@@ -259,9 +264,10 @@ class LiraSystem:
             raise RuntimeError("call adapt() before the first tick()")
         self.current_time = t
         faults = self.faults
+        inject = faults is not None and not self._faults_null
         active = None
         rate_factor = 1.0
-        if faults is not None:
+        if inject:
             self.network.deliver_pending(t)
             active = faults.churn_step(self.n_nodes)
             rate_factor = faults.service_factor(t)
@@ -271,20 +277,32 @@ class LiraSystem:
         self.fleet.set_thresholds(thresholds)
         senders = self.fleet.observe(t, positions, velocities)
         self.history.record(t, senders, positions[senders], velocities[senders])
-        if faults is None:
+        if inject:
+            ids, pos, vel, times = faults.uplink(
+                t, senders, positions[senders], velocities[senders]
+            )
+        else:
+            if faults is not None:
+                counters = faults.counters
+                counters.uplink_sent += int(senders.size)
+                counters.uplink_delivered += int(senders.size)
             ids, pos, vel, times = (
                 senders,
                 positions[senders],
                 velocities[senders],
                 None,
             )
-        else:
-            ids, pos, vel, times = faults.uplink(
-                t, senders, positions[senders], velocities[senders]
-            )
         admit = 1.0 if self.policy == "lira" else self.shedder.current_z
-        splits = np.array_split(np.arange(ids.size), self.receive_substeps)
-        for chunk in splits:
+        # Slice-based chunking with np.array_split's size rule (the
+        # first n % k chunks get one extra element): slicing yields
+        # views, so substepping never copies the report arrays.
+        n, k = int(ids.size), self.receive_substeps
+        base, extra = divmod(n, k)
+        lo = 0
+        for c in range(k):
+            hi = lo + base + (1 if c < extra else 0)
+            chunk = slice(lo, hi)
+            lo = hi
             self.server.receive_reports(
                 t,
                 ids[chunk],

@@ -19,9 +19,14 @@ class LiraPolicy(SheddingPolicy):
 
     name = "LIRA"
 
-    def __init__(self, config: LiraConfig, reduction: ReductionFunction) -> None:
+    def __init__(
+        self,
+        config: LiraConfig,
+        reduction: ReductionFunction,
+        engine: str = "object",
+    ) -> None:
         self.config = config
-        self.shedder = LiraLoadShedder(config, reduction)
+        self.shedder = LiraLoadShedder(config, reduction, engine=engine)
         self.alpha = config.resolved_alpha
         self.plan: SheddingPlan | None = None
 

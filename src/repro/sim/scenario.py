@@ -234,14 +234,19 @@ def make_policies(
     scenario: Scenario,
     config: LiraConfig,
     include: tuple[str, ...] = ("lira", "lira-grid", "uniform", "random-drop"),
+    engine: str = "object",
 ) -> dict[str, SheddingPolicy]:
     """Instantiate the paper's four policies for a scenario.
 
     Keys: ``lira``, ``lira-grid``, ``uniform``, ``random-drop``.
+    ``engine`` selects the adapt-path kernels for the LIRA variants
+    (``"vector"`` runs the bit-identical array kernels).
     """
     factories = {
-        "lira": lambda: LiraPolicy(config, scenario.reduction),
-        "lira-grid": lambda: LiraGridPolicy(config, scenario.reduction),
+        "lira": lambda: LiraPolicy(config, scenario.reduction, engine=engine),
+        "lira-grid": lambda: LiraGridPolicy(
+            config, scenario.reduction, engine=engine
+        ),
         "uniform": lambda: UniformDeltaPolicy(scenario.reduction),
         "random-drop": lambda: RandomDropPolicy(delta_min=scenario.delta_min),
     }
