@@ -78,3 +78,153 @@ class NodeTable:
     def last_update_times(self) -> np.ndarray:
         """Report time of each node's stored motion model."""
         return self._time.copy()
+
+
+class CompactNodeTable:
+    """A node table over an explicit (sorted) subset of global node ids.
+
+    The sharded deployment gives each shard a table holding only the
+    nodes it currently owns: rows are positionally aligned with
+    :attr:`ids` (ascending global node ids) and callers keep addressing
+    nodes by *global* id — :meth:`ingest` translates via
+    ``searchsorted``.  Updates for ids not in the table (a node that
+    migrated away while its report sat in the input queue) are dropped
+    and counted in :attr:`updates_orphaned`; a full-population table
+    (``ids = arange(n)``) behaves bit-identically to :class:`NodeTable`.
+
+    Row surgery (:meth:`extract_rows` / :meth:`insert_rows`) moves nodes
+    between shards; this table owns the authoritative id array the other
+    per-shard components stay row-aligned with.
+    """
+
+    def __init__(self, ids: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 1:
+            raise ValueError("ids must be one-dimensional")
+        if ids.size and np.any(np.diff(ids) <= 0):
+            raise ValueError("ids must be strictly increasing")
+        self.ids = ids.copy()
+        n = ids.size
+        self._pos = np.zeros((n, 2), dtype=np.float64)
+        self._vel = np.zeros((n, 2), dtype=np.float64)
+        self._time = np.zeros(n, dtype=np.float64)
+        self._known = np.zeros(n, dtype=bool)
+        self.updates_applied = 0
+        self.updates_discarded = 0
+        self.updates_orphaned = 0
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.ids.size)
+
+    def rows_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Row index per global id; every id must be present."""
+        rows = np.searchsorted(self.ids, node_ids)
+        if np.any(rows >= self.ids.size) or np.any(
+            self.ids[np.minimum(rows, self.ids.size - 1)] != node_ids
+        ):
+            raise KeyError("node id not owned by this table")
+        return rows
+
+    def ingest(
+        self,
+        t: float,
+        node_ids: np.ndarray,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+    ) -> None:
+        """Apply a batch of received reports at time ``t`` (global ids).
+
+        Same newest-wins semantics as :meth:`NodeTable.ingest`; reports
+        addressed to nodes this table does not own are dropped first and
+        counted as orphans.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            return
+        rows = np.searchsorted(self.ids, node_ids)
+        if self.ids.size == 0:
+            self.updates_orphaned += int(node_ids.size)
+            return
+        owned = (rows < self.ids.size) & (
+            self.ids[np.minimum(rows, self.ids.size - 1)] == node_ids
+        )
+        if not owned.all():
+            self.updates_orphaned += int(np.count_nonzero(~owned))
+            rows = rows[owned]
+            positions = np.asarray(positions)[owned]
+            velocities = np.asarray(velocities)[owned]
+            if rows.size == 0:
+                return
+        stale = self._known[rows] & (self._time[rows] > t)
+        if stale.any():
+            self.updates_discarded += int(stale.sum())
+            fresh = ~stale
+            rows = rows[fresh]
+            positions = np.asarray(positions)[fresh]
+            velocities = np.asarray(velocities)[fresh]
+            if rows.size == 0:
+                return
+        self._pos[rows] = positions
+        self._vel[rows] = velocities
+        self._time[rows] = t
+        self._known[rows] = True
+        self.updates_applied += int(rows.size)
+
+    def predict(self, t: float) -> np.ndarray:
+        """Believed positions of all owned rows at ``t`` (NaN if unknown)."""
+        predicted = self._pos + self._vel * (t - self._time)[:, None]
+        predicted[~self._known] = np.nan
+        return predicted
+
+    def predict_known(self, t: float) -> tuple[np.ndarray, np.ndarray]:
+        """(global ids, believed positions) of the known rows at ``t``.
+
+        Row-for-row the same float arithmetic as :meth:`NodeTable.predict`
+        restricted to the known subset, so sharded query evaluation is
+        bit-identical to the dense path.
+        """
+        known = self._known
+        believed = self._pos[known] + self._vel[known] * (
+            t - self._time[known]
+        )[:, None]
+        return self.ids[known], believed
+
+    @property
+    def known_mask(self) -> np.ndarray:
+        """Boolean mask (row-aligned) of nodes that have reported."""
+        return self._known.copy()
+
+    @property
+    def last_update_times(self) -> np.ndarray:
+        """Report time of each row's stored motion model."""
+        return self._time.copy()
+
+    # ------------------------------------------------------------------
+    # Row surgery (cross-shard node handoff)
+    # ------------------------------------------------------------------
+
+    def extract_rows(self, rows: np.ndarray) -> dict[str, np.ndarray]:
+        """Remove the given row indices and return their model state."""
+        state = {
+            "pos": self._pos[rows].copy(),
+            "vel": self._vel[rows].copy(),
+            "time": self._time[rows].copy(),
+            "known": self._known[rows].copy(),
+        }
+        self.ids = np.delete(self.ids, rows)
+        self._pos = np.delete(self._pos, rows, axis=0)
+        self._vel = np.delete(self._vel, rows, axis=0)
+        self._time = np.delete(self._time, rows)
+        self._known = np.delete(self._known, rows)
+        return state
+
+    def insert_rows(
+        self, at: np.ndarray, node_ids: np.ndarray, state: dict[str, np.ndarray]
+    ) -> None:
+        """Insert rows for ``node_ids`` before indices ``at`` (sorted merge)."""
+        self.ids = np.insert(self.ids, at, node_ids)
+        self._pos = np.insert(self._pos, at, state["pos"], axis=0)
+        self._vel = np.insert(self._vel, at, state["vel"], axis=0)
+        self._time = np.insert(self._time, at, state["time"])
+        self._known = np.insert(self._known, at, state["known"])

@@ -8,6 +8,7 @@ Rule families:
 * ``invariants`` — REP020-REP021: the paper's Δ-bound/fairness clamping
   seam and the shedding-policy interface.
 * ``pools`` — REP030: picklability of process-pool callables.
+* ``sharding`` — REP031: ordered iteration over shard-keyed containers.
 * ``meta`` — REP000 (unused suppression), REP999 (parse failure).
 """
 
@@ -17,4 +18,5 @@ from repro.lint.rules import (  # noqa: F401 - imported for registration
     meta,
     numeric,
     pools,
+    sharding,
 )

@@ -1,0 +1,104 @@
+"""Sharding rules: cross-shard traversal must be deterministically ordered.
+
+The sharded deployment's equivalence contract (bit-reproducible runs,
+pool == in-process) holds only if every loop over a *collection of
+shards* visits them in the same order every run.  Lists indexed by shard
+id are naturally ordered; the hazard is a dict or set keyed by shard id
+whose insertion history varies (populated from routing results, worker
+completion order, …) — iterating one bakes that history into handoff
+application, budget rebalancing, or merged reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, register
+
+from repro.lint.rules.determinism import _is_set_expr
+
+#: Dict-view accessors whose iteration order is the dict's insertion
+#: history.
+_DICT_VIEWS = ("keys", "values", "items")
+
+
+def _terminal_name(node: ast.AST) -> str | None:
+    """The rightmost identifier of a name/attribute chain, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _names_shards(node: ast.AST) -> bool:
+    """True when the expression's terminal identifier mentions shards."""
+    name = _terminal_name(node)
+    return name is not None and "shard" in name.lower()
+
+
+def _is_dict_expr(node: ast.AST, ctx: FileContext, _depth: int = 0) -> bool:
+    """True when ``node`` statically evaluates to a dict."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve(node.func) == "dict"
+    if isinstance(node, ast.Name) and _depth < 4:
+        value = ctx.local_value(node.id)
+        if value is not None and value is not node:
+            return _is_dict_expr(value, ctx, _depth + 1)
+    return False
+
+
+@register
+class UnorderedShardIteration(Rule):
+    """Iterating shard-keyed dicts/sets without an explicit order.
+
+    Same contract as REP003, extended to dicts when the collection is
+    keyed by shard: dict iteration is insertion-ordered, but the
+    insertion order of a cross-shard map typically reflects *runtime
+    history* (which shard produced results first, which stations routed
+    where), so any ordered artifact built from it — handoff application,
+    budget allocation, merged result sets — can differ between runs or
+    between the pool and in-process paths.  Iterate ``range(n_shards)``
+    or ``sorted(mapping)`` instead.
+    """
+
+    id = "REP031"
+    name = "unordered-shard-iteration"
+    summary = "iteration over a shard-keyed dict/set without sorting"
+    node_types = (ast.For, ast.comprehension)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        assert isinstance(node, (ast.For, ast.comprehension))
+        iterable = node.iter
+        # someshards.keys() / .values() / .items() — a dict view over a
+        # shard-keyed mapping.
+        if (
+            isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Attribute)
+            and iterable.func.attr in _DICT_VIEWS
+            and not iterable.args
+            and _names_shards(iterable.func.value)
+        ):
+            yield self.finding(
+                ctx,
+                iterable,
+                f"iterating .{iterable.func.attr}() of a shard-keyed "
+                "mapping: insertion order reflects runtime history, not "
+                "shard order; iterate sorted(...) or range(n_shards)",
+            )
+            return
+        # Bare shard-named dict/set iterated directly.
+        if _names_shards(iterable) and (
+            _is_dict_expr(iterable, ctx) or _is_set_expr(iterable, ctx)
+        ):
+            yield self.finding(
+                ctx,
+                iterable,
+                "iterating a shard-keyed dict/set: the visit order is not "
+                "the shard order; iterate sorted(...) or range(n_shards)",
+            )

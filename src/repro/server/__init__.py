@@ -22,12 +22,18 @@ from repro.server.protocol import (
     RegionSubset,
 )
 from repro.server.queue import ArrayBoundedQueue, BoundedQueue
+from repro.server.sharded import LiraShard, RebalanceReport, ShardedLiraSystem
+from repro.server.sharding import ShardRouter, hrw_shards
 from repro.server.system import LiraSystem, SystemStats
 
 __all__ = [
     "ArrayBoundedQueue",
     "BaseStationNetwork",
+    "LiraShard",
     "LiraSystem",
+    "RebalanceReport",
+    "ShardRouter",
+    "ShardedLiraSystem",
     "MobileNode",
     "NODE_ENGINES",
     "ObjectNodeEngine",
@@ -42,6 +48,7 @@ __all__ = [
     "MobileCQServer",
     "UDP_PAYLOAD_BYTES",
     "UpdateMessage",
+    "hrw_shards",
     "mean_broadcast_bytes",
     "mean_regions_per_station",
     "place_density_dependent_stations",

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geo import Rect
-from repro.index import NodeTable
+from repro.index import CompactNodeTable, NodeTable
 from repro.queries import RangeQuery
 from repro.core.statistics_grid import StatisticsGrid
 from repro.server.queue import ArrayBoundedQueue, BoundedQueue
@@ -99,6 +99,7 @@ class MobileCQServer:
         stats_alpha: int | None = None,
         incremental: bool = False,
         batch_ingest: bool = False,
+        node_ids: np.ndarray | None = None,
     ) -> None:
         if service_rate <= 0:
             raise ValueError("service_rate must be positive")
@@ -111,7 +112,12 @@ class MobileCQServer:
             if batch_ingest
             else BoundedQueue(queue_capacity)
         )
-        self.table = NodeTable(n_nodes)
+        # ``node_ids`` gives the server a compact table over an explicit
+        # subset of the global population (the sharded deployment's
+        # per-shard server); the default dense table covers 0..n-1.
+        self.table: NodeTable | CompactNodeTable = (
+            CompactNodeTable(node_ids) if node_ids is not None else NodeTable(n_nodes)
+        )
         self.stats_grid = (
             StatisticsGrid(bounds, stats_alpha) if stats_alpha else None
         )

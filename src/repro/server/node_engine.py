@@ -40,12 +40,28 @@ the conservative default Δ⊢ exactly where the object path does.
 
 from __future__ import annotations
 
+from typing import Protocol
+
 import numpy as np
 
 from repro.core.plan import SheddingRegion
 from repro.geo import Rect
 from repro.server.base_station import BaseStation
-from repro.server.protocol import BaseStationNetwork, MobileNode
+from repro.server.protocol import BaseStationNetwork, MobileNode, RegionSubset
+
+
+class SubsetProvider(Protocol):
+    """What the vector engine needs from the plan-dissemination layer.
+
+    :class:`BaseStationNetwork` satisfies it directly; the sharded
+    deployment satisfies it with a directory view merging the per-shard
+    networks, so one engine can serve nodes attached to stations owned
+    by any shard.
+    """
+
+    stations: list[BaseStation]
+
+    def subset_or_none(self, station_id: int) -> RegionSubset | None: ...
 
 #: Engine names accepted by :class:`~repro.server.system.LiraSystem`.
 NODE_ENGINES = ("vector", "object")
@@ -332,13 +348,18 @@ class VectorNodeEngine:
     def __init__(
         self,
         n_nodes: int,
-        network: BaseStationNetwork,
+        network: SubsetProvider,
         bounds: Rect,
         assigner_resolution: int | None = None,
+        assigner: StationAssigner | None = None,
     ) -> None:
         self.n_nodes = n_nodes
         self.network = network
-        self.assigner = StationAssigner(
+        # ``assigner`` lets deployments with several engines over the
+        # same station layout (one per shard) share a single candidate
+        # raster instead of precomputing K identical copies; ``network``
+        # then only needs to answer ``subset_or_none``.
+        self.assigner = assigner if assigner is not None else StationAssigner(
             network.stations, bounds, resolution=assigner_resolution
         )
         self._station_slot = np.full(n_nodes, -1, dtype=np.int64)
@@ -463,6 +484,44 @@ class VectorNodeEngine:
         else:
             thresholds[act] = out
         return thresholds
+
+    # ------------------------------------------------------------------
+    # Row surgery (cross-shard node handoff)
+    # ------------------------------------------------------------------
+
+    def extract_rows(self, rows: np.ndarray) -> dict[str, np.ndarray]:
+        """Remove the given row indices and return their state.
+
+        Used when nodes migrate to a different shard's engine: the
+        per-node station slot, installed version, and counters travel
+        with the node so the destination engine sees exactly the state
+        a single global engine would hold.  ``total_handoffs`` stays —
+        it counts events observed while the rows lived here.
+        """
+        state = {
+            "station_slot": self._station_slot[rows].copy(),
+            "installed_version": self._installed_version[rows].copy(),
+            "handoffs": self._handoffs[rows].copy(),
+            "installs": self._installs[rows].copy(),
+        }
+        self._station_slot = np.delete(self._station_slot, rows)
+        self._installed_version = np.delete(self._installed_version, rows)
+        self._handoffs = np.delete(self._handoffs, rows)
+        self._installs = np.delete(self._installs, rows)
+        self.n_nodes = int(self._station_slot.size)
+        return state
+
+    def insert_rows(self, at: np.ndarray, state: dict[str, np.ndarray]) -> None:
+        """Insert rows (from :meth:`extract_rows`) before indices ``at``."""
+        self._station_slot = np.insert(
+            self._station_slot, at, state["station_slot"]
+        )
+        self._installed_version = np.insert(
+            self._installed_version, at, state["installed_version"]
+        )
+        self._handoffs = np.insert(self._handoffs, at, state["handoffs"])
+        self._installs = np.insert(self._installs, at, state["installs"])
+        self.n_nodes = int(self._station_slot.size)
 
     # ------------------------------------------------------------------
     # Introspection (parity with the object path)

@@ -54,6 +54,7 @@ class TestRegistry:
             "REP020",
             "REP021",
             "REP030",
+            "REP031",
             "REP999",
         } <= ids
 
@@ -376,6 +377,70 @@ class TestRep030PoolCallables:
             def run(items):
                 with ProcessPoolExecutor() as pool:
                     return list(pool.map(job, items))
+            """
+        )
+
+
+class TestRep031UnorderedShardIteration:
+    def test_flags_bare_shard_dict(self):
+        assert "REP031" in rule_ids(
+            """
+            shard_results = {}
+            for shard_id in shard_results:
+                print(shard_id)
+            """
+        )
+
+    def test_flags_dict_view_on_shard_mapping(self):
+        assert "REP031" in rule_ids(
+            """
+            def merge(per_shard):
+                return [v for v in per_shard.values()]
+            """
+        )
+
+    def test_flags_shard_id_set(self):
+        assert "REP031" in rule_ids(
+            """
+            shard_ids = {0, 1, 2}
+            for shard in shard_ids:
+                print(shard)
+            """
+        )
+
+    def test_sorted_iteration_is_clean(self):
+        assert "REP031" not in rule_ids(
+            """
+            shard_results = {}
+            for shard_id in sorted(shard_results):
+                print(shard_id)
+            """
+        )
+
+    def test_range_over_shard_count_is_clean(self):
+        assert "REP031" not in rule_ids(
+            """
+            def run(n_shards):
+                for shard_id in range(n_shards):
+                    print(shard_id)
+            """
+        )
+
+    def test_non_shard_dict_is_clean(self):
+        assert "REP031" not in rule_ids(
+            """
+            totals = {}
+            for key in totals:
+                print(key)
+            """
+        )
+
+    def test_shard_list_is_clean(self):
+        assert "REP031" not in rule_ids(
+            """
+            def run(shards):
+                for shard in shards:
+                    shard.tick()
             """
         )
 

@@ -1,0 +1,219 @@
+"""Tests for ShardedLiraSystem (K-shard deployment of the systems loop).
+
+The contract under test is the one DESIGN.md §8 states: K=1 is
+bit-identical to :class:`~repro.server.LiraSystem` (stats, plans,
+thresholds, query results — across fault regimes), and K>1 is
+bit-reproducible per seed with conserved node ownership, an exactly
+budget-sum-invariant coordinator, and a pool path identical to the
+in-process path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticReduction, LiraConfig
+from repro.faults import FaultInjector, FaultSpec
+from repro.geo import Rect
+from repro.queries import RangeQuery
+from repro.server import LiraSystem, ShardedLiraSystem
+
+BOUNDS = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+QUERIES = [
+    RangeQuery(0, Rect(1000.0, 1000.0, 4000.0, 4000.0)),
+    RangeQuery(1, Rect(5000.0, 2000.0, 9000.0, 6000.0)),
+]
+
+
+def _config() -> LiraConfig:
+    return LiraConfig(l=13, alpha=32, z=0.5)
+
+
+def _common(**overrides) -> dict:
+    common = dict(
+        service_rate=500.0,
+        queue_capacity=100,
+        station_radius=1500.0,
+        policy_seed=7,
+    )
+    common.update(overrides)
+    return common
+
+
+def _make_pair(n_nodes=400, n_shards=1, n_workers=1, **overrides):
+    config = _config()
+    reduction = AnalyticReduction(config.delta_min, config.delta_max)
+    common = _common(**overrides)
+    ref = LiraSystem(BOUNDS, n_nodes, QUERIES, reduction, config=config, **common)
+    sharded = ShardedLiraSystem(
+        BOUNDS, n_nodes, QUERIES, reduction, config=config,
+        n_shards=n_shards, n_workers=n_workers, **common,
+    )
+    return ref, sharded
+
+
+def _make_sharded(n_shards, n_nodes=400, n_workers=1, **overrides):
+    config = _config()
+    reduction = AnalyticReduction(config.delta_min, config.delta_max)
+    return ShardedLiraSystem(
+        BOUNDS, n_nodes, QUERIES, reduction, config=config,
+        n_shards=n_shards, n_workers=n_workers, **_common(**overrides),
+    )
+
+
+def _initial_state(n_nodes, seed=3):
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, 10_000.0, size=(n_nodes, 2))
+    velocities = rng.uniform(-30.0, 30.0, size=(n_nodes, 2))
+    return positions, velocities
+
+
+def _drive_pair(ref, sharded, n_ticks=40, seed=3):
+    """Tick both systems in lockstep, asserting per-tick stat equality."""
+    positions, velocities = _initial_state(ref.n_nodes, seed)
+    ref.bootstrap(positions, velocities)
+    sharded.bootstrap(positions, velocities)
+    for tick in range(n_ticks):
+        positions = np.clip(positions + velocities, 0.0, 10_000.0)
+        if tick % 8 == 0:
+            speeds = np.linalg.norm(velocities, axis=1)
+            ref.adapt(positions, speeds)
+            sharded.adapt(positions, speeds)
+        ref_stats = ref.tick(float(tick), positions, velocities, 1.0)
+        sh_stats = sharded.tick(float(tick), positions, velocities, 1.0)
+        assert ref_stats == sh_stats, f"tick {tick} diverged"
+
+
+def _drive_sharded(sharded, n_ticks=40, seed=3, check_invariants=True):
+    """Drive a sharded system alone; returns (stats, query results, handoffs)."""
+    n = sharded.n_nodes
+    positions, velocities = _initial_state(n, seed)
+    sharded.bootstrap(positions, velocities)
+    for tick in range(n_ticks):
+        positions = np.clip(positions + velocities, 0.0, 10_000.0)
+        if tick % 8 == 0:
+            sharded.adapt(positions, np.linalg.norm(velocities, axis=1))
+            if check_invariants and sharded.n_shards > 1:
+                report = sharded.last_rebalance
+                assert report is not None
+                # Exact-sum invariance: the rebalance pins the remainder on
+                # the most-loaded shard, so the sum matches to the bit.
+                assert abs(float(report.budgets.sum()) - report.z_global) == 0.0
+        sharded.tick(float(tick), positions, velocities, 1.0)
+        if check_invariants:
+            owned = np.sort(sharded.owned_ids())
+            assert np.array_equal(owned, np.arange(n)), "node ownership leaked"
+    sharded.close()
+    return sharded.stats(), sharded.evaluate_queries(), sharded.total_cross_handoffs
+
+
+class TestK1BitIdentity:
+    def test_lira_policy_parity(self):
+        ref, sharded = _make_pair()
+        _drive_pair(ref, sharded)
+        assert ref.stats() == sharded.stats()
+        for ref_rows, sh_rows in zip(ref.evaluate_queries(), sharded.evaluate_queries()):
+            np.testing.assert_array_equal(np.sort(ref_rows), sh_rows)
+        np.testing.assert_array_equal(
+            ref.fleet.thresholds, sharded.shards[0].fleet.thresholds
+        )
+
+    def test_random_drop_policy_parity(self):
+        ref, sharded = _make_pair(policy="random-drop", adaptive_throttle=False)
+        _drive_pair(ref, sharded)
+        assert ref.stats() == sharded.stats()
+
+    def test_plan_versions_match(self):
+        ref, sharded = _make_pair()
+        _drive_pair(ref, sharded, n_ticks=20)
+        assert ref.stats().plan_version == sharded.stats().plan_version
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            FaultSpec(),
+            FaultSpec(uplink_loss=0.1, uplink_delay=0.2, uplink_delay_range=(2.0, 6.0)),
+            FaultSpec(downlink_loss=0.3, downlink_delay=0.2),
+            FaultSpec(
+                churn_leave=0.02, churn_rejoin=0.1,
+                slowdown_prob=0.1, slowdown_duration=3.0,
+            ),
+        ],
+        ids=["null", "uplink", "downlink", "churn-slowdown"],
+    )
+    def test_fault_regime_parity(self, spec):
+        config = _config()
+        reduction = AnalyticReduction(config.delta_min, config.delta_max)
+        queries = [QUERIES[0]]
+        common = _common()
+        common.pop("queue_capacity")
+        ref = LiraSystem(
+            BOUNDS, 300, queries, reduction, config=config,
+            faults=FaultInjector(spec, seed=11), **common,
+        )
+        sharded = ShardedLiraSystem(
+            BOUNDS, 300, queries, reduction, config=config,
+            faults=FaultInjector(spec, seed=11), **common,
+        )
+        _drive_pair(ref, sharded, n_ticks=30, seed=5)
+        assert ref.stats() == sharded.stats()
+
+    def test_faults_rejected_beyond_one_shard(self):
+        with pytest.raises(NotImplementedError):
+            ShardedLiraSystem(
+                Rect(0.0, 0.0, 100.0, 100.0), 10, [],
+                AnalyticReduction(5.0, 100.0),
+                faults=FaultInjector(FaultSpec(uplink_loss=0.5)),
+                n_shards=2,
+            )
+
+
+class TestMultiShardReproducibility:
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_same_seed_same_bits(self, n_shards):
+        stats_a, queries_a, handoffs_a = _drive_sharded(_make_sharded(n_shards))
+        stats_b, queries_b, handoffs_b = _drive_sharded(_make_sharded(n_shards))
+        assert stats_a == stats_b
+        assert handoffs_a == handoffs_b
+        for rows_a, rows_b in zip(queries_a, queries_b):
+            np.testing.assert_array_equal(rows_a, rows_b)
+
+    def test_handoffs_actually_occur(self):
+        _, _, handoffs = _drive_sharded(_make_sharded(4))
+        assert handoffs > 0
+
+    def test_pool_matches_in_process(self):
+        stats_serial, queries_serial, handoffs_serial = _drive_sharded(
+            _make_sharded(4, n_workers=1)
+        )
+        stats_pool, queries_pool, handoffs_pool = _drive_sharded(
+            _make_sharded(4, n_workers=2)
+        )
+        assert stats_serial == stats_pool
+        assert handoffs_serial == handoffs_pool
+        for rows_serial, rows_pool in zip(queries_serial, queries_pool):
+            np.testing.assert_array_equal(rows_serial, rows_pool)
+
+
+class TestCoordinator:
+    def test_budget_rebalance_preserves_global_z(self):
+        sharded = _make_sharded(4)
+        _drive_sharded(sharded, n_ticks=24)
+        report = sharded.last_rebalance
+        assert report is not None
+        assert abs(float(report.budgets.sum()) - report.z_global) == 0.0
+        assert report.weights.shape == (4,)
+        assert report.budgets.shape == (4,)
+
+    def test_fixed_throttle_skips_rebalance(self):
+        sharded = _make_sharded(2, adaptive_throttle=False)
+        sharded.set_throttle_fraction(0.5)
+        _drive_sharded(sharded, n_ticks=16, check_invariants=False)
+        assert sharded.last_rebalance is None
+        assert sharded.current_z == 0.5
+
+    def test_current_z_reflects_global_budget(self):
+        sharded = _make_sharded(4)
+        _drive_sharded(sharded, n_ticks=24, check_invariants=False)
+        report = sharded.last_rebalance
+        assert report is not None
+        assert sharded.current_z == report.z_global
