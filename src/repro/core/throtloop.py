@@ -16,6 +16,7 @@ toward 1.
 from __future__ import annotations
 
 import logging
+import math
 from dataclasses import dataclass, field
 
 logger = logging.getLogger(__name__)
@@ -32,6 +33,12 @@ class ThrotLoop:
     how fast the budget reopens after a period with *no* arrivals, where
     the control law is undefined — the symmetric guard against a single
     empty measurement whipsawing z fully open.
+
+    ``utilization_target`` optionally overrides the derived ``1 − 1/B``
+    target.  The paper's target only *stabilizes* the queue at whatever
+    length it already has (λ ≈ μ leaves a full queue full forever); a
+    deployment with a latency objective sets e.g. 0.8 so sustained
+    headroom exists to drain backlog after an overload episode.
     """
 
     queue_capacity: int
@@ -39,6 +46,7 @@ class ThrotLoop:
     z_floor: float = 0.01
     smoothing: float | None = None
     reopen_factor: float = 2.0
+    utilization_target: float | None = None
     history: list[float] = field(default_factory=list)
     _smoothed_utilization: float | None = field(default=None, repr=False)
 
@@ -53,18 +61,34 @@ class ThrotLoop:
             raise ValueError("smoothing must be in (0, 1] (or None)")
         if self.reopen_factor <= 1.0:
             raise ValueError("reopen_factor must be > 1")
+        if self.utilization_target is not None and not (
+            0.0 < self.utilization_target <= 1.0
+        ):
+            raise ValueError("utilization_target must be in (0, 1] (or None)")
 
     @property
     def target_utilization(self) -> float:
-        """The stability threshold ``1 − 1/B``."""
+        """The stability threshold: ``1 − 1/B``, unless overridden."""
+        if self.utilization_target is not None:
+            return self.utilization_target
         return 1.0 - 1.0 / self.queue_capacity
 
     def step(self, arrival_rate: float, service_rate: float) -> float:
-        """One periodic adjustment from measured λ and μ; returns new z."""
-        if service_rate <= 0:
-            raise ValueError("service_rate must be positive")
+        """One periodic adjustment from measured λ and μ; returns new z.
+
+        ``service_rate <= 0`` is a measured condition, not a caller bug:
+        a live server can report μ = 0 over a stalled period.  It maps
+        to the same utilization semantics as
+        :attr:`~repro.server.cq_server.LoadMeasurement.utilization` —
+        infinitely utilized under any load (the budget collapses to
+        ``z_floor``), idle at zero load (the gradual-reopen path) — so
+        the control loop rides through instead of crashing.
+        """
         if arrival_rate < 0:
             raise ValueError("arrival_rate must be non-negative")
+        if service_rate <= 0:
+            utilization = float("inf") if arrival_rate > 0 else 0.0
+            return self.step_utilization(utilization)
         return self.step_utilization(arrival_rate / service_rate)
 
     def step_utilization(self, utilization: float) -> float:
@@ -77,6 +101,20 @@ class ThrotLoop:
         """
         if utilization < 0:
             raise ValueError("utilization must be non-negative")
+        if math.isinf(utilization):
+            # A stalled-server measurement (μ = 0 under load): the server
+            # is infinitely utilized, so the budget collapses straight to
+            # the floor.  Skip the EWMA update — folding inf into the
+            # smoothed state would pin every later measurement at inf.
+            previous = self.z
+            self.z = self.z_floor
+            if self.z < previous:
+                logger.debug(
+                    "throttle collapsed: rho=inf -> z %.3f -> %.3f",
+                    previous, self.z,
+                )
+            self.history.append(self.z)
+            return self.z
         if self.smoothing is not None:
             if self._smoothed_utilization is None:
                 self._smoothed_utilization = utilization

@@ -75,6 +75,17 @@ class NodeTable:
         return self._known.copy()
 
     @property
+    def velocities(self) -> np.ndarray:
+        """Stored model velocities, shape ``(n, 2)`` (zeros when unknown).
+
+        The believed-state view a server-side adaptation needs alongside
+        :meth:`predict`: region statistics weight cells by node speed,
+        and the only speeds the server legitimately knows are the ones
+        the nodes last reported.
+        """
+        return self._vel.copy()
+
+    @property
     def last_update_times(self) -> np.ndarray:
         """Report time of each node's stored motion model."""
         return self._time.copy()

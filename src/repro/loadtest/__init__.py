@@ -1,0 +1,17 @@
+"""Open-loop load harness for the live service (:mod:`repro.service`).
+
+``python -m repro.loadtest --spawn --overload 4`` spawns a service
+subprocess and replays a precomputed schedule against it, reporting
+p50/p95/p99 ingest and plan-propagation latency against declared SLOs.
+"""
+
+from repro.loadtest.runner import LoadtestReport, run_loadtest
+from repro.loadtest.schedule import PROFILES, LoadProfile, OpenLoopSchedule
+
+__all__ = [
+    "LoadProfile",
+    "LoadtestReport",
+    "OpenLoopSchedule",
+    "PROFILES",
+    "run_loadtest",
+]

@@ -1,0 +1,248 @@
+"""Open-loop load schedules: everything is decided before the run.
+
+The load generator must be **open-loop**: every tick's wall-clock send
+offset and every node's motion are computed up front from a seeded RNG,
+and the sender never waits for the server.  A closed-loop generator (one
+that sends the next request after the previous response) silently slows
+down exactly when the server is overloaded, and so *measures away* the
+tail latency it was supposed to observe — the coordinated-omission
+failure.  Here, if the server falls behind, requests still fire on
+schedule and latency is charged from the *scheduled* send time.
+
+A schedule has two independent parts:
+
+* **offsets** — when each tick fires, from a :class:`LoadProfile`
+  (constant rate, periodic bursts, or a flash crowd that permanently
+  multiplies the rate partway through);
+* **motion** — a synthetic mobile trace (random-heading wanderers with
+  slowly drifting headings, reflected at the bounds), generated in
+  "simulation seconds" at city-scale speeds and replayed time-compressed:
+  velocities are scaled by ``time_scale`` so one sim tick elapses in one
+  wall tick.  Heading drift makes dead-reckoning deviation grow a few
+  meters per tick, which is what puts the fleet's send rate *inside* the
+  throttler's control range: Δ⊢ lets nearly every node report every
+  tick, Δ⊣ once every ~10 ticks.
+
+Given the same parameters and seed, two schedules are bit-identical —
+the reproducibility tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo import Rect
+
+__all__ = ["LoadProfile", "OpenLoopSchedule", "PROFILES"]
+
+PROFILES = ("constant", "burst", "flash-crowd")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """How the tick rate evolves over the run.
+
+    ``constant`` fires ticks every ``base_gap`` seconds.  ``burst``
+    alternates baseline stretches with windows (every ``burst_every``
+    seconds, lasting ``burst_len`` seconds) where the gap shrinks by
+    ``factor``.  ``flash-crowd`` runs at baseline until ``ramp_at``
+    (a fraction of the duration), then permanently multiplies the rate
+    by ``factor``.  All offsets get a small seeded jitter (±5% of the
+    local gap) so ticks never phase-lock with the server's pump.
+    """
+
+    name: str = "constant"
+    factor: float = 3.0
+    burst_every: float = 4.0
+    burst_len: float = 1.0
+    ramp_at: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.name not in PROFILES:
+            raise ValueError(f"profile must be one of {PROFILES}")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.burst_every <= 0 or self.burst_len < 0:
+            raise ValueError("burst_every must be positive, burst_len >= 0")
+        if not (0.0 < self.ramp_at < 1.0):
+            raise ValueError("ramp_at must be in (0, 1)")
+
+    def _gap_at(self, t: float, base_gap: float, duration: float) -> float:
+        if self.name == "burst":
+            if (t % self.burst_every) < self.burst_len:
+                return base_gap / self.factor
+            return base_gap
+        if self.name == "flash-crowd":
+            if t >= self.ramp_at * duration:
+                return base_gap / self.factor
+            return base_gap
+        return base_gap
+
+    def offsets(
+        self, duration: float, base_gap: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Strictly increasing wall offsets covering ``[0, duration)``."""
+        if duration <= 0 or base_gap <= 0:
+            raise ValueError("duration and base_gap must be positive")
+        out = []
+        t = 0.0
+        while t < duration:
+            out.append(t)
+            gap = self._gap_at(t, base_gap, duration)
+            t += gap * (1.0 + rng.uniform(-0.05, 0.05))
+        return np.array(out, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class OpenLoopSchedule:
+    """A fully precomputed replay: offsets + time-compressed motion.
+
+    ``positions[r]`` / ``velocities[r]`` are the fleet state at tick
+    ``r`` (velocities already wall-scaled by ``time_scale``); the tick
+    fires at wall offset ``offsets[r]`` from the run's start.
+    """
+
+    offsets: np.ndarray
+    positions: np.ndarray
+    velocities: np.ndarray
+    base_gap: float
+    dt_sim: float
+    time_scale: float
+    overload: float
+    profile: LoadProfile
+    seed: int
+
+    @property
+    def n_ticks(self) -> int:
+        return int(self.offsets.size)
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.positions.shape[1])
+
+    @property
+    def duration(self) -> float:
+        return float(self.offsets[-1]) if self.n_ticks else 0.0
+
+    @classmethod
+    def build(
+        cls,
+        bounds: Rect,
+        n_nodes: int,
+        duration: float,
+        overload: float,
+        service_rate: float,
+        profile: LoadProfile | None = None,
+        seed: int = 0,
+        dt_sim: float = 10.0,
+        speed_range: tuple[float, float] = (10.0, 30.0),
+        heading_sigma: float = 0.05,
+    ) -> "OpenLoopSchedule":
+        """Precompute a schedule for an ``overload``× offered load.
+
+        ``base_gap`` is sized so an *unthrottled* fleet (every node
+        reporting every tick, the Δ⊢ regime) offers
+        ``overload · service_rate`` reports per second:
+        ``base_gap = n_nodes / (overload · service_rate)``.
+        """
+        if overload <= 0:
+            raise ValueError("overload must be positive")
+        if service_rate <= 0 or n_nodes <= 0:
+            raise ValueError("service_rate and n_nodes must be positive")
+        profile = profile or LoadProfile()
+        root = np.random.SeedSequence(seed)
+        offsets_seq, motion_seq = root.spawn(2)
+        base_gap = n_nodes / (overload * service_rate)
+        offsets = profile.offsets(
+            duration, base_gap, np.random.default_rng(offsets_seq)
+        )
+        positions, velocities = _wander_trace(
+            bounds,
+            n_nodes,
+            offsets.size,
+            dt_sim,
+            speed_range,
+            heading_sigma,
+            np.random.default_rng(motion_seq),
+        )
+        time_scale = dt_sim / base_gap
+        return cls(
+            offsets=offsets,
+            positions=positions,
+            velocities=velocities * time_scale,
+            base_gap=base_gap,
+            dt_sim=dt_sim,
+            time_scale=time_scale,
+            overload=overload,
+            profile=profile,
+            seed=seed,
+        )
+
+    def describe(self) -> dict:
+        """JSON-friendly schedule metadata (not the arrays)."""
+        return {
+            "n_ticks": self.n_ticks,
+            "n_nodes": self.n_nodes,
+            "duration_s": round(self.duration, 3),
+            "base_gap_s": round(self.base_gap, 6),
+            "dt_sim_s": self.dt_sim,
+            "time_scale": round(self.time_scale, 3),
+            "overload": self.overload,
+            "profile": self.profile.name,
+            "profile_factor": self.profile.factor,
+            "seed": self.seed,
+        }
+
+
+def _wander_trace(
+    bounds: Rect,
+    n_nodes: int,
+    n_ticks: int,
+    dt: float,
+    speed_range: tuple[float, float],
+    heading_sigma: float,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random-heading wanderers with reflective bounds, in sim time.
+
+    Speeds are fixed per node; headings random-walk with per-tick
+    standard deviation ``heading_sigma`` — the knob that sets how fast
+    dead-reckoning deviation accumulates (lateral drift per tick is
+    roughly ``speed · dt · heading_sigma``).
+    """
+    lo, hi = speed_range
+    if not (0 < lo <= hi):
+        raise ValueError("speed_range must satisfy 0 < lo <= hi")
+    pos = np.column_stack(
+        (
+            rng.uniform(bounds.x1, bounds.x2, n_nodes),
+            rng.uniform(bounds.y1, bounds.y2, n_nodes),
+        )
+    )
+    speed = rng.uniform(lo, hi, n_nodes)
+    heading = rng.uniform(0.0, 2.0 * np.pi, n_nodes)
+    positions = np.empty((n_ticks, n_nodes, 2), dtype=np.float64)
+    velocities = np.empty((n_ticks, n_nodes, 2), dtype=np.float64)
+    for r in range(n_ticks):
+        vel = np.column_stack((np.cos(heading), np.sin(heading))) * speed[:, None]
+        positions[r] = pos
+        velocities[r] = vel
+        pos = pos + vel * dt
+        # Reflect at the bounds: mirror the overshoot, flip the heading
+        # component, and keep going — nodes never leave the region.
+        for axis, (low, high) in enumerate(
+            ((bounds.x1, bounds.x2), (bounds.y1, bounds.y2))
+        ):
+            under = pos[:, axis] < low
+            over = pos[:, axis] > high
+            pos[under, axis] = 2 * low - pos[under, axis]
+            pos[over, axis] = 2 * high - pos[over, axis]
+            bounced = under | over
+            if np.any(bounced):
+                comp = vel[bounced].copy()
+                comp[:, axis] = -comp[:, axis]
+                heading[bounced] = np.arctan2(comp[:, 1], comp[:, 0])
+        heading = heading + rng.normal(0.0, heading_sigma, n_nodes)
+    return positions, velocities

@@ -14,11 +14,21 @@ from repro.metrics.cost import (
     messaging_cost,
     time_adaptation,
 )
+from repro.metrics.slo import (
+    LatencySummary,
+    SLOReport,
+    SLOSpec,
+    nearest_rank,
+)
 
 __all__ = [
     "AdaptationTiming",
     "FairnessStats",
+    "LatencySummary",
     "MessagingCost",
+    "SLOReport",
+    "SLOSpec",
+    "nearest_rank",
     "containment_errors",
     "fairness_stats",
     "mean_containment_error",

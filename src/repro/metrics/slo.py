@@ -1,0 +1,180 @@
+"""Tail-latency summaries and SLO accounting for the live service layer.
+
+One percentile estimator is used everywhere latency is reported:
+**nearest-rank** (the lowest sample at or above the requested fraction
+of the distribution, ``P(q) = sorted[ceil(q/100 · N)]`` with 1-based
+rank).  The choice is deliberate:
+
+* every reported percentile is an *actual observed sample* — no
+  interpolation can manufacture a latency nobody experienced;
+* it is total-order exact for any window size: a 1-sample window reports
+  that sample for every q, a 2-sample window reports the larger sample
+  for p95/p99 — tiny CI smoke runs can never produce NaN or an
+  ``IndexError``;
+* it is the estimator the load-shedding SLO literature (and common
+  latency tooling) uses for p99-style bounds, which are defined as "no
+  more than 1% of requests exceeded this value".
+
+SLOs are declared as :class:`SLOSpec` (upper bounds on chosen
+percentiles, in milliseconds) and checked against a
+:class:`LatencySummary`; :meth:`SLOSpec.evaluate` returns a per-bound
+verdict so a report can say *which* percentile blew the budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LatencySummary",
+    "SLOReport",
+    "SLOSpec",
+    "nearest_rank",
+]
+
+#: The percentiles every latency summary reports.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def nearest_rank(samples: Sequence[float] | np.ndarray, q: float) -> float:
+    """The nearest-rank q-th percentile of ``samples``.
+
+    ``rank = ceil(q/100 · N)`` (1-based, clamped to ``[1, N]`` so q=0 is
+    the minimum and q=100 the maximum); the returned value is always an
+    element of ``samples``.  Raises ``ValueError`` on an empty window —
+    an SLO over zero observations is meaningless and the caller must
+    decide what that means, not receive a silent NaN.
+    """
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be a percentile in [0, 100]")
+    values = np.sort(np.asarray(samples, dtype=np.float64))
+    n = values.size
+    if n == 0:
+        raise ValueError("nearest_rank of an empty sample window")
+    rank = math.ceil(q / 100.0 * n)
+    return float(values[max(rank, 1) - 1])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency window (all values in seconds)."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+    mean: float
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float] | np.ndarray
+    ) -> "LatencySummary":
+        """Summarize a non-empty window with the nearest-rank estimator."""
+        values = np.sort(np.asarray(samples, dtype=np.float64))
+        n = values.size
+        if n == 0:
+            raise ValueError("cannot summarize an empty latency window")
+        p50, p95, p99 = (nearest_rank(values, q) for q in SUMMARY_PERCENTILES)
+        return cls(
+            count=int(n),
+            p50=p50,
+            p95=p95,
+            p99=p99,
+            min=float(values[0]),
+            max=float(values[-1]),
+            mean=float(values.mean()),
+        )
+
+    def to_dict(self, scale: float = 1e3) -> dict[str, float | int]:
+        """JSON-friendly dict; ``scale`` converts seconds (1e3 → ms)."""
+        return {
+            "count": self.count,
+            "p50_ms": round(self.p50 * scale, 3),
+            "p95_ms": round(self.p95 * scale, 3),
+            "p99_ms": round(self.p99 * scale, 3),
+            "min_ms": round(self.min * scale, 3),
+            "max_ms": round(self.max * scale, 3),
+            "mean_ms": round(self.mean * scale, 3),
+        }
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Declared upper bounds (milliseconds) on latency percentiles.
+
+    A bound of ``None`` means that percentile is unconstrained.  The
+    spec is declarative data — declare it next to the workload, feed
+    measured summaries through :meth:`evaluate`.
+    """
+
+    name: str
+    p50_ms: float | None = None
+    p95_ms: float | None = None
+    p99_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        for label, bound in self.bounds():
+            if bound is not None and bound <= 0:
+                raise ValueError(f"{self.name}: {label} bound must be positive")
+
+    def bounds(self) -> Iterable[tuple[str, float | None]]:
+        return (
+            ("p50_ms", self.p50_ms),
+            ("p95_ms", self.p95_ms),
+            ("p99_ms", self.p99_ms),
+        )
+
+    def evaluate(self, summary: LatencySummary) -> "SLOReport":
+        """Check a measured summary against every declared bound."""
+        violations: list[str] = []
+        checked: list[str] = []
+        measured_ms = {
+            "p50_ms": summary.p50 * 1e3,
+            "p95_ms": summary.p95 * 1e3,
+            "p99_ms": summary.p99 * 1e3,
+        }
+        for label, bound in self.bounds():
+            if bound is None:
+                continue
+            checked.append(label)
+            if measured_ms[label] > bound:
+                violations.append(label)
+        return SLOReport(
+            slo=self,
+            summary=summary,
+            checked=tuple(checked),
+            violations=tuple(violations),
+        )
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """The verdict of one :meth:`SLOSpec.evaluate` call."""
+
+    slo: SLOSpec
+    summary: LatencySummary
+    checked: tuple[str, ...]
+    violations: tuple[str, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "slo": self.slo.name,
+            "bounds_ms": {
+                label: bound
+                for label, bound in self.slo.bounds()
+                if bound is not None
+            },
+            "measured": self.summary.to_dict(),
+            "ok": self.ok,
+            "violations": list(self.violations),
+        }

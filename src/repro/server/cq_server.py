@@ -280,6 +280,21 @@ class MobileCQServer:
         self._period_time += dt
         return count
 
+    def clamp_service_credit(self, cap: float = 1.0) -> None:
+        """Forget banked service capacity beyond ``cap`` updates.
+
+        The simulated loop calls :meth:`process` back-to-back with a
+        never-idle queue, where fractional-credit carryover models a slow
+        μ exactly.  A live pump also calls :meth:`process` while the
+        queue is *empty*; letting credit accumulate there would allow a
+        later burst to be served in zero time — a real server cannot
+        bank idle capacity.  Pumps call this after serving an empty
+        queue to keep only the sub-update fractional remainder.
+        """
+        if cap < 0:
+            raise ValueError("cap must be non-negative")
+        self._service_credit = min(self._service_credit, cap)
+
     def evaluate_queries(self, t: float) -> list[np.ndarray]:
         """Result sets from the server's *believed* positions at time ``t``.
 

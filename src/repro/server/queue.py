@@ -71,11 +71,19 @@ class BoundedQueue:
         return batch
 
     def drop_rate(self) -> float:
-        """Fraction of all arrivals dropped so far."""
-        arrivals = self.total_enqueued + self.total_dropped
-        if arrivals == 0:
-            return 0.0
-        return self.total_dropped / arrivals
+        """Fraction of all arrivals dropped so far.
+
+        Derived from the monotonic ``lifetime_*`` counters, so a
+        :meth:`reset_counters` call mid-run cannot silently turn this
+        into a per-period rate.  Use :meth:`period_drop_rate` for the
+        drop fraction since the last reset.
+        """
+        return _drop_fraction(self.lifetime_enqueued, self.lifetime_dropped)
+
+    def period_drop_rate(self) -> float:
+        """Fraction of arrivals dropped since the last
+        :meth:`reset_counters` (the resettable-counter view)."""
+        return _drop_fraction(self.total_enqueued, self.total_dropped)
 
     def reset_counters(self) -> None:
         """Zero the resettable counters (queue contents and the
@@ -83,6 +91,14 @@ class BoundedQueue:
         self.total_enqueued = 0
         self.total_dropped = 0
         self.total_dequeued = 0
+
+
+def _drop_fraction(enqueued: int, dropped: int) -> float:
+    """``dropped / (enqueued + dropped)``, 0.0 when nothing arrived."""
+    arrivals = enqueued + dropped
+    if arrivals == 0:
+        return 0.0
+    return dropped / arrivals
 
 
 class ArrayBoundedQueue:
@@ -199,11 +215,18 @@ class ArrayBoundedQueue:
         )
 
     def drop_rate(self) -> float:
-        """Fraction of all arrivals dropped so far."""
-        arrivals = self.total_enqueued + self.total_dropped
-        if arrivals == 0:
-            return 0.0
-        return self.total_dropped / arrivals
+        """Fraction of all arrivals dropped so far.
+
+        Derived from the monotonic ``lifetime_*`` counters, exactly like
+        :meth:`BoundedQueue.drop_rate`; :meth:`period_drop_rate` keeps
+        the since-last-reset view.
+        """
+        return _drop_fraction(self.lifetime_enqueued, self.lifetime_dropped)
+
+    def period_drop_rate(self) -> float:
+        """Fraction of arrivals dropped since the last
+        :meth:`reset_counters` (the resettable-counter view)."""
+        return _drop_fraction(self.total_enqueued, self.total_dropped)
 
     def reset_counters(self) -> None:
         """Zero the resettable counters (queue contents and the

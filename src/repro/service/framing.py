@@ -1,0 +1,130 @@
+"""Length-prefixed npz frames: the wire format of the live service.
+
+A frame is::
+
+    MAGIC (4 bytes) | header_len (u32 BE) | body_len (u32 BE)
+    | header (JSON, utf-8) | body (npz archive, may be empty)
+
+The JSON header carries the frame ``kind`` plus small scalar metadata
+(sequence numbers, timestamps, counters); the npz body carries the bulk
+numeric payload (report batches, plan thresholds) without any per-value
+Python boxing.  npz is the project's one serialization format — the
+trace cache, plan persistence, and now the wire all speak it — so the
+service adds no dependency the container does not already bake in.
+
+Framing is strict: a wrong magic or an oversized declared length fails
+immediately instead of letting a desynchronized stream masquerade as
+garbage frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["Frame", "FrameError", "encode_frame", "decode_frame", "read_frame"]
+
+MAGIC = b"LCQ1"
+_PREFIX = struct.Struct(">4sII")
+
+#: Hard cap on either section of a frame (64 MiB).  A desynchronized or
+#: malicious stream then fails fast instead of asking asyncio to buffer
+#: gigabytes that a corrupted length prefix "declared".
+MAX_SECTION_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(ValueError):
+    """The byte stream does not contain a well-formed frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    kind: str
+    meta: dict[str, Any]
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+def encode_frame(
+    kind: str,
+    meta: Mapping[str, Any] | None = None,
+    arrays: Mapping[str, np.ndarray] | None = None,
+) -> bytes:
+    """Serialize one frame to bytes."""
+    header = json.dumps(
+        {"kind": kind, "meta": dict(meta or {})}, separators=(",", ":")
+    ).encode("utf-8")
+    if arrays:
+        body_io = io.BytesIO()
+        # Uncompressed npz: latency matters more than the handful of
+        # bytes compression would shave off loopback frames.
+        np.savez(body_io, **dict(arrays))
+        body = body_io.getvalue()
+    else:
+        body = b""
+    if len(header) > MAX_SECTION_BYTES or len(body) > MAX_SECTION_BYTES:
+        raise FrameError("frame section exceeds MAX_SECTION_BYTES")
+    return _PREFIX.pack(MAGIC, len(header), len(body)) + header + body
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode one complete frame from bytes (the inverse of
+    :func:`encode_frame`)."""
+    if len(data) < _PREFIX.size:
+        raise FrameError("short frame: missing prefix")
+    magic, header_len, body_len = _PREFIX.unpack_from(data)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if header_len > MAX_SECTION_BYTES or body_len > MAX_SECTION_BYTES:
+        raise FrameError("declared frame section exceeds MAX_SECTION_BYTES")
+    expected = _PREFIX.size + header_len + body_len
+    if len(data) != expected:
+        raise FrameError(f"frame length mismatch: {len(data)} != {expected}")
+    header_bytes = data[_PREFIX.size : _PREFIX.size + header_len]
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"bad frame header: {exc}") from exc
+    kind = header.get("kind")
+    if not isinstance(kind, str):
+        raise FrameError("frame header missing string 'kind'")
+    meta = header.get("meta") or {}
+    if not isinstance(meta, dict):
+        raise FrameError("frame 'meta' must be an object")
+    arrays: dict[str, np.ndarray] = {}
+    if body_len:
+        body = data[_PREFIX.size + header_len :]
+        with np.load(io.BytesIO(body), allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    return Frame(kind=kind, meta=meta, arrays=arrays)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Frame | None:
+    """Read exactly one frame from a stream; ``None`` on clean EOF.
+
+    EOF mid-frame (the peer died between prefix and payload) raises
+    :class:`FrameError` — a half-frame is corruption, not a clean close.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("EOF inside a frame prefix") from exc
+    magic, header_len, body_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if header_len > MAX_SECTION_BYTES or body_len > MAX_SECTION_BYTES:
+        raise FrameError("declared frame section exceeds MAX_SECTION_BYTES")
+    try:
+        rest = await reader.readexactly(header_len + body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("EOF inside a frame payload") from exc
+    return decode_frame(prefix + rest)

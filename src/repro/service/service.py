@@ -1,0 +1,657 @@
+"""The live asyncio façade over a LIRA deployment.
+
+:class:`LiraService` wraps the same components the systems loop wires
+together — :class:`~repro.server.cq_server.MobileCQServer` (bounded
+queue + node table), :class:`~repro.core.shedder.LiraLoadShedder`
+(GRIDREDUCE + GREEDYINCREMENT + THROTLOOP), and the
+:class:`~repro.server.protocol.BaseStationNetwork` — behind a socket
+protocol, so real concurrent clients can drive it under wall-clock load
+instead of a lockstep tick loop.  Three concerns run decoupled, exactly
+as the paper's architecture separates them:
+
+* **ingest** — clients stream ``ingest`` frames of position reports;
+  the server enqueues them into the bounded queue and acknowledges each
+  frame *after its admitted reports have been applied* to the node
+  table ("ack-after-apply"), so a measured ingest latency includes the
+  queue wait that overload actually causes;
+* **service pump** — a periodic task grants the queue ``μ·dt`` of
+  processing capacity per real elapsed ``dt`` (scaled through the
+  optional :class:`~repro.faults.FaultInjector` slowdown seam), then
+  completes any acks whose reports have drained;
+* **adaptation** — a periodic task closes a load-measurement period,
+  steps THROTLOOP, recomputes the shedding plan from the *believed*
+  node state, installs it into the station network, and pushes it to
+  every subscribed client.
+
+Every timestamp flows through the :data:`repro.timing.Clock` seam —
+:func:`repro.timing.monotonic` in production (comparable across
+processes on Linux), :class:`repro.timing.ManualClock` in tests — so
+the service itself never reads the wall clock (REP002).
+
+Policy semantics mirror :class:`~repro.server.system.LiraSystem`:
+``"lira"`` computes real region plans so clients shed at the *sources*;
+``"random-drop"`` is the paper's uncontrolled regime — a trivial
+one-region plan at Δ⊢ (no source throttling) with overload handled by
+queue-overflow dropping alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import timing
+from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
+from repro.core.greedy import RegionStats
+from repro.core.plan import SheddingPlan, clamp_thresholds
+from repro.core.reduction import AnalyticReduction, ReductionFunction
+from repro.faults import FaultInjector, FaultSpec
+from repro.geo import Rect
+from repro.queries import QueryDistribution, RangeQuery, generate_workload
+from repro.server.base_station import place_uniform_stations
+from repro.server.cq_server import MobileCQServer
+from repro.server.protocol import BaseStationNetwork
+from repro.server.system import POLICIES
+from repro.service.framing import Frame, FrameError, encode_frame, read_frame
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["IngestResult", "LiraService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Declarative scenario for one service process.
+
+    Everything a :class:`LiraService` needs is derived from these
+    scalars (plus a seed), so a load generator in another process can
+    reconstruct the matching scenario from the same values — the
+    monitoring bounds and query workload must agree on both sides.
+    """
+
+    side: float = 10_000.0
+    n_nodes: int = 400
+    n_queries: int = 20
+    query_side: float = 1_500.0
+    workload_seed: int = 7
+    service_rate: float = 1_500.0
+    queue_capacity: int = 600
+    policy: str = "lira"
+    adapt_period: float = 0.5
+    pump_period: float = 0.005
+    station_radius: float = 4_000.0
+    l: int = 13
+    alpha: int = 16
+    delta_min: float = 5.0
+    delta_max: float = 100.0
+    #: THROTLOOP target ρ.  The paper's 1−1/B only *stabilizes* queue
+    #: length; a latency SLO needs sustained headroom to drain backlog.
+    utilization_target: float = 0.8
+    #: EWMA weight on utilization measurements: the fleet reacts to a
+    #: new plan with about one tick of lag, so the raw control law limit
+    #: cycles around the target; smoothing damps it.
+    throttle_smoothing: float = 0.5
+    #: Server-slowdown chaos (FaultInjector seam); prob 0 disables.
+    slowdown_prob: float = 0.0
+    slowdown_factor: float = 0.3
+    slowdown_duration: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        if self.side <= 0:
+            raise ValueError("side must be positive")
+        if self.adapt_period <= 0 or self.pump_period <= 0:
+            raise ValueError("adapt_period and pump_period must be positive")
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(0.0, 0.0, self.side, self.side)
+
+    def lira_config(self) -> LiraConfig:
+        return LiraConfig(
+            l=self.l,
+            alpha=self.alpha,
+            delta_min=self.delta_min,
+            delta_max=self.delta_max,
+        )
+
+    def queries(self) -> list[RangeQuery]:
+        """The scenario's query workload (pure function of the config)."""
+        return generate_workload(
+            self.bounds,
+            self.n_queries,
+            self.query_side,
+            distribution=QueryDistribution.RANDOM,
+            seed=self.workload_seed,
+        )
+
+    def faults(self) -> FaultInjector | None:
+        if self.slowdown_prob <= 0:
+            return None
+        spec = FaultSpec(
+            slowdown_prob=self.slowdown_prob,
+            slowdown_factor=self.slowdown_factor,
+            slowdown_duration=self.slowdown_duration,
+        )
+        return FaultInjector(spec, seed=self.fault_seed)
+
+    def build(self, clock: timing.Clock = timing.monotonic) -> "LiraService":
+        reduction = AnalyticReduction(self.delta_min, self.delta_max)
+        return LiraService(
+            bounds=self.bounds,
+            n_nodes=self.n_nodes,
+            queries=self.queries(),
+            reduction=reduction,
+            config=self.lira_config(),
+            service_rate=self.service_rate,
+            queue_capacity=self.queue_capacity,
+            policy=self.policy,
+            adapt_period=self.adapt_period,
+            pump_period=self.pump_period,
+            station_radius=self.station_radius,
+            utilization_target=self.utilization_target,
+            throttle_smoothing=self.throttle_smoothing,
+            faults=self.faults(),
+            clock=clock,
+        )
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of applying one ingest frame to the server.
+
+    ``mark`` is the queue's ``lifetime_enqueued`` reading after the
+    frame's reports were offered; the frame counts as *applied* once
+    ``lifetime_dequeued`` reaches it (FIFO makes the comparison exact).
+    ``None`` means nothing was admitted, so the ack owes no queue wait.
+    """
+
+    admitted: int
+    dropped: int
+    queue_length: int
+    mark: int | None
+
+
+@dataclass
+class _PendingAck:
+    """An ingest ack deferred until the queue drains past ``mark``."""
+
+    writer: asyncio.StreamWriter
+    meta: dict
+    mark: int
+
+
+@dataclass
+class _Subscriber:
+    """One plan-push channel: a connection that sent ``subscribe``."""
+
+    writer: asyncio.StreamWriter
+    station_id: int | None = None
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic service-level accounting (wire activity, not queue state)."""
+
+    ingest_frames: int = 0
+    reports_received: int = 0
+    acks_sent: int = 0
+    acks_deferred: int = 0
+    plans_computed: int = 0
+    plans_pushed: int = 0
+    protocol_errors: int = 0
+
+
+class LiraService:
+    """One live LIRA server endpoint (see the module docstring).
+
+    The constructor takes fully built components so tests can inject a
+    :class:`~repro.timing.ManualClock` and drive :meth:`apply_ingest` /
+    :meth:`adapt_once` synchronously without any socket; production
+    entry points build from a :class:`ServiceConfig` and call
+    :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        n_nodes: int,
+        queries: list[RangeQuery],
+        reduction: ReductionFunction,
+        config: LiraConfig | None = None,
+        service_rate: float = 1_500.0,
+        queue_capacity: int = 600,
+        policy: str = "lira",
+        adapt_period: float = 0.5,
+        pump_period: float = 0.005,
+        station_radius: float = 4_000.0,
+        utilization_target: float | None = 0.8,
+        throttle_smoothing: float | None = 0.5,
+        faults: FaultInjector | None = None,
+        clock: timing.Clock = timing.monotonic,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}")
+        self.config = config or LiraConfig(l=13, alpha=16)
+        self.bounds = bounds
+        self.n_nodes = n_nodes
+        self.policy = policy
+        self.clock = clock
+        self.faults = faults
+        self.adapt_period = adapt_period
+        self.pump_period = pump_period
+        self.server = MobileCQServer(
+            bounds,
+            n_nodes,
+            queries,
+            service_rate=service_rate,
+            queue_capacity=queue_capacity,
+            batch_ingest=True,
+        )
+        self.shedder = LiraLoadShedder(
+            self.config, reduction, queue_capacity=queue_capacity, engine="vector"
+        )
+        self.shedder.use_adaptive_throttle()
+        self.shedder.throtloop.utilization_target = utilization_target
+        self.shedder.throtloop.smoothing = throttle_smoothing
+        self.network = BaseStationNetwork(
+            place_uniform_stations(bounds, station_radius)
+        )
+        self.counters = ServiceCounters()
+        self.plan: SheddingPlan | None = None
+        self.plan_generated_t = 0.0
+        self._trivial_plan_cache: SheddingPlan | None = None
+        # FIFO of deferred acks: marks are monotone in append order
+        # because enqueueing happens inline on the (single) event loop.
+        self._pending: deque[_PendingAck] = deque()
+        self._subscribers: list[_Subscriber] = []
+        self._asyncio_server: asyncio.AbstractServer | None = None
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Synchronous core (socket-free; what the protocol handlers call)
+    # ------------------------------------------------------------------
+
+    def apply_ingest(
+        self,
+        t: float,
+        node_ids: np.ndarray,
+        positions: np.ndarray,
+        velocities: np.ndarray,
+        times: np.ndarray | None = None,
+    ) -> IngestResult:
+        """Apply one batch of reports; equivalent to ``receive_reports``.
+
+        This is the entire server-side effect of an ``ingest`` frame, so
+        tests can assert wire-path/direct-path equivalence against a
+        plain :class:`MobileCQServer` without opening a socket.
+        """
+        queue = self.server.queue
+        drops_before = queue.lifetime_dropped
+        admitted = self.server.receive_reports(
+            t, node_ids, positions, velocities, times=times
+        )
+        dropped = queue.lifetime_dropped - drops_before
+        self.counters.ingest_frames += 1
+        self.counters.reports_received += int(np.asarray(node_ids).size)
+        return IngestResult(
+            admitted=admitted,
+            dropped=int(dropped),
+            queue_length=len(queue),
+            mark=queue.lifetime_enqueued if admitted else None,
+        )
+
+    def pump_once(self, dt: float) -> int:
+        """Grant ``dt`` seconds of service capacity; returns processed count.
+
+        The slowdown fault seam scales capacity exactly as the systems
+        loop's tick path does; idle credit beyond one update is
+        forgotten (a live server cannot bank capacity it did not use).
+        """
+        rate_factor = (
+            self.faults.service_factor(self.clock()) if self.faults is not None else 1.0
+        )
+        processed = self.server.process(dt, rate_factor=rate_factor)
+        if len(self.server.queue) == 0:
+            self.server.clamp_service_credit()
+        return processed
+
+    def adapt_once(self) -> SheddingPlan:
+        """One adaptation: measure load, step THROTLOOP, install a plan.
+
+        Mirrors :meth:`repro.server.system.LiraSystem.adapt`, with the
+        believed node state standing in for the simulator's ground
+        truth — a live server only knows what was reported to it.
+        """
+        now = self.clock()
+        measurement = self.server.take_load_measurement()
+        if measurement.period > 0:
+            # Routes through ThrotLoop.step(), which tolerates a stalled
+            # μ <= 0 measurement (collapse to z_floor under load, reopen
+            # when idle) instead of raising mid-adaptation.
+            self.shedder.observe_load(
+                measurement.arrival_rate, self.server.service_rate
+            )
+        plan: SheddingPlan | None = None
+        if self.policy == "lira":
+            plan = self._lira_plan(now)
+        if plan is None:
+            plan = self._trivial_plan()
+        self.network.install_plan(plan, t=now)
+        self.plan = plan
+        self.plan_generated_t = now
+        self.counters.plans_computed += 1
+        return plan
+
+    def _lira_plan(self, now: float) -> SheddingPlan | None:
+        """A region plan from believed state; ``None`` before any report."""
+        table = self.server.table
+        known = np.flatnonzero(table.known_mask)
+        if known.size == 0:
+            return None
+        believed = table.predict(now)[known]
+        # Clamp believed positions into bounds: extrapolating a stale
+        # model can walk a node outside the monitoring region, and the
+        # statistics grid ignores out-of-bounds samples entirely.
+        believed[:, 0] = np.clip(believed[:, 0], self.bounds.x1, self.bounds.x2)
+        believed[:, 1] = np.clip(believed[:, 1], self.bounds.y1, self.bounds.y2)
+        vel = table.velocities[known]
+        speeds = np.hypot(vel[:, 0], vel[:, 1])
+        grid = StatisticsGrid.from_snapshot(
+            self.bounds,
+            self.config.resolved_alpha,
+            believed,
+            speeds,
+            self.server.queries,
+        )
+        return self.shedder.adapt(grid)
+
+    def _trivial_plan(self) -> SheddingPlan:
+        """One region at Δ⊢ (no source throttling); memoized."""
+        if self._trivial_plan_cache is None:
+            region = RegionStats(rect=self.bounds, n=0.0, m=0.0, s=0.0)
+            self._trivial_plan_cache = SheddingPlan.from_regions(
+                bounds=self.bounds,
+                regions=[region],
+                thresholds=clamp_thresholds(
+                    np.array([self.config.delta_min]), self.config
+                ),
+                resolution=1,
+            )
+        return self._trivial_plan_cache
+
+    def stats_meta(self) -> dict:
+        """The ``stats`` frame payload: one consistent snapshot."""
+        queue = self.server.queue
+        table = self.server.table
+        return {
+            "policy": self.policy,
+            "z": self.shedder.current_z,
+            "plan_version": self.network.version,
+            "plan_regions": self.plan.num_regions if self.plan else 0,
+            "queue_length": len(queue),
+            "queue_capacity": queue.capacity,
+            "drop_rate": queue.drop_rate(),
+            "period_drop_rate": queue.period_drop_rate(),
+            "lifetime_enqueued": queue.lifetime_enqueued,
+            "lifetime_dropped": queue.lifetime_dropped,
+            "lifetime_dequeued": queue.lifetime_dequeued,
+            "updates_applied": table.updates_applied,
+            "updates_discarded": table.updates_discarded,
+            "ingest_frames": self.counters.ingest_frames,
+            "reports_received": self.counters.reports_received,
+            "acks_sent": self.counters.acks_sent,
+            "plans_computed": self.counters.plans_computed,
+            "plans_pushed": self.counters.plans_pushed,
+            "subscribers": len(self._subscribers),
+            "service_rate": self.server.service_rate,
+        }
+
+    # ------------------------------------------------------------------
+    # Plan push
+    # ------------------------------------------------------------------
+
+    def _plan_frame(self, subscriber: _Subscriber) -> bytes | None:
+        """Encode the current plan for one subscriber (None = nothing yet)."""
+        if self.plan is None:
+            return None
+        meta = {
+            "version": self.network.version,
+            "generated_t": self.plan_generated_t,
+            "z": self.shedder.current_z,
+            "policy": self.policy,
+        }
+        if subscriber.station_id is None:
+            meta["plan"] = self.plan.to_dict()
+            return encode_frame("plan", meta)
+        subset = self.network.subset_or_none(subscriber.station_id)
+        meta["station_id"] = subscriber.station_id
+        meta["default_delta"] = self.config.delta_min
+        if subset is None or not subset.regions:
+            return encode_frame("plan-subset", meta)
+        rects = np.array(
+            [[r.rect.x1, r.rect.y1, r.rect.x2, r.rect.y2] for r in subset.regions],
+            dtype=np.float64,
+        )
+        deltas = np.array([r.delta for r in subset.regions], dtype=np.float64)
+        return encode_frame("plan-subset", meta, {"rects": rects, "deltas": deltas})
+
+    def _push_plan(self) -> None:
+        """Send the current plan to every live subscriber."""
+        if self.plan is None or not self._subscribers:
+            return
+        live: list[_Subscriber] = []
+        for subscriber in self._subscribers:
+            if subscriber.writer.is_closing():
+                continue
+            payload = self._plan_frame(subscriber)
+            if payload is not None:
+                subscriber.writer.write(payload)
+                self.counters.plans_pushed += 1
+            live.append(subscriber)
+        self._subscribers = live
+
+    # ------------------------------------------------------------------
+    # Background tasks
+    # ------------------------------------------------------------------
+
+    def _complete_acks(self) -> None:
+        """Flush deferred acks whose reports have been applied."""
+        done = self.server.queue.lifetime_dequeued
+        while self._pending and self._pending[0].mark <= done:
+            pending = self._pending.popleft()
+            if pending.writer.is_closing():
+                continue
+            pending.meta["done_t"] = self.clock()
+            pending.writer.write(encode_frame("ingest-ack", pending.meta))
+            self.counters.acks_sent += 1
+
+    async def _pump_loop(self) -> None:
+        last = self.clock()
+        while True:
+            await asyncio.sleep(self.pump_period)
+            now = self.clock()
+            dt = max(0.0, now - last)
+            last = now
+            try:
+                self.pump_once(dt)
+                self._complete_acks()
+            except Exception:
+                logger.exception("service pump iteration failed")
+
+    async def _adapt_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.adapt_period)
+            try:
+                self.adapt_once()
+                self._push_plan()
+            except Exception:
+                logger.exception("adaptation iteration failed")
+
+    # ------------------------------------------------------------------
+    # Socket protocol
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except FrameError as exc:
+                    self.counters.protocol_errors += 1
+                    writer.write(encode_frame("error", {"message": str(exc)}))
+                    await writer.drain()
+                    break
+                if frame is None:
+                    break
+                self._dispatch(frame, writer)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._subscribers = [
+                s for s in self._subscribers if s.writer is not writer
+            ]
+            writer.close()
+
+    def _dispatch(self, frame: Frame, writer: asyncio.StreamWriter) -> None:
+        if frame.kind == "ping":
+            meta = dict(frame.meta)
+            meta["server_t"] = self.clock()
+            writer.write(encode_frame("pong", meta))
+            return
+        if frame.kind == "ingest":
+            self._handle_ingest(frame, writer)
+            return
+        if frame.kind == "subscribe":
+            station_id = frame.meta.get("station_id")
+            subscriber = _Subscriber(
+                writer=writer,
+                station_id=int(station_id) if station_id is not None else None,
+            )
+            self._subscribers.append(subscriber)
+            payload = self._plan_frame(subscriber)
+            if payload is not None:
+                writer.write(payload)
+                self.counters.plans_pushed += 1
+            return
+        if frame.kind == "stats":
+            meta = self.stats_meta()
+            meta["seq"] = frame.meta.get("seq")
+            writer.write(encode_frame("stats-reply", meta))
+            return
+        self.counters.protocol_errors += 1
+        writer.write(
+            encode_frame("error", {"message": f"unknown frame kind {frame.kind!r}"})
+        )
+
+    def _handle_ingest(self, frame: Frame, writer: asyncio.StreamWriter) -> None:
+        recv_t = self.clock()
+        try:
+            node_ids = np.asarray(frame.arrays["node_ids"], dtype=np.int64)
+            positions = np.asarray(frame.arrays["positions"], dtype=np.float64)
+            velocities = np.asarray(frame.arrays["velocities"], dtype=np.float64)
+        except KeyError as exc:
+            self.counters.protocol_errors += 1
+            writer.write(
+                encode_frame("error", {"message": f"ingest missing array {exc}"})
+            )
+            return
+        times = frame.arrays.get("times")
+        if positions.shape != (node_ids.size, 2) or velocities.shape != (
+            node_ids.size,
+            2,
+        ):
+            self.counters.protocol_errors += 1
+            writer.write(
+                encode_frame("error", {"message": "ingest array shape mismatch"})
+            )
+            return
+        result = self.apply_ingest(
+            recv_t,
+            node_ids,
+            positions,
+            velocities,
+            times=np.asarray(times, dtype=np.float64) if times is not None else None,
+        )
+        meta = {
+            "seq": frame.meta.get("seq"),
+            "send_t": frame.meta.get("send_t"),
+            "recv_t": recv_t,
+            "admitted": result.admitted,
+            "dropped": result.dropped,
+            "queue_length": result.queue_length,
+        }
+        if result.mark is None:
+            meta["done_t"] = self.clock()
+            writer.write(encode_frame("ingest-ack", meta))
+            self.counters.acks_sent += 1
+        else:
+            self.counters.acks_deferred += 1
+            self._pending.append(_PendingAck(writer=writer, meta=meta, mark=result.mark))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(
+        self,
+        path: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        """Bind (unix socket if ``path`` else TCP) and start the loops."""
+        if self._asyncio_server is not None:
+            raise RuntimeError("service already started")
+        if path is not None:
+            self._asyncio_server = await asyncio.start_unix_server(
+                self._handle_conn, path=path
+            )
+        else:
+            self._asyncio_server = await asyncio.start_server(
+                self._handle_conn, host=host, port=port
+            )
+        self._tasks = [
+            asyncio.create_task(self._pump_loop(), name="lira-service-pump"),
+            asyncio.create_task(self._adapt_loop(), name="lira-service-adapt"),
+        ]
+
+    @property
+    def bound_port(self) -> int | None:
+        """The bound TCP port (None for unix sockets / before start)."""
+        if self._asyncio_server is None:
+            return None
+        for sock in self._asyncio_server.sockets:
+            name = sock.getsockname()
+            if isinstance(name, tuple) and len(name) >= 2:
+                return int(name[1])
+        return None
+
+    async def stop(self) -> None:
+        """Cancel the loops and close the listening socket."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks = []
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the listener must be started)."""
+        if self._asyncio_server is None:
+            raise RuntimeError("call start() first")
+        await self._asyncio_server.serve_forever()

@@ -18,7 +18,60 @@ import math
 import time
 from typing import Any, Callable
 
-__all__ = ["Stopwatch", "best_wall_seconds", "wall_time_samples"]
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "Stopwatch",
+    "best_wall_seconds",
+    "monotonic",
+    "wall_time_samples",
+]
+
+#: A clock is any zero-argument callable returning seconds as a float.
+#: The live service layer (:mod:`repro.service`, :mod:`repro.loadtest`)
+#: takes one as a parameter — :func:`monotonic` in production,
+#: :class:`ManualClock` in deterministic tests — so this module stays
+#: the only place real time enters the library.
+Clock = Callable[[], float]
+
+
+def monotonic() -> float:
+    """Monotonic wall seconds (``CLOCK_MONOTONIC``).
+
+    This is the live-service clock seam: on Linux the monotonic clock is
+    per-boot and shared by every process on the machine, so timestamps
+    stamped by a load-generator process are directly comparable to ones
+    stamped by the service process (unlike ``perf_counter``, whose epoch
+    is unspecified per process).
+    """
+    return time.monotonic()
+
+
+class ManualClock:
+    """A deterministic :data:`Clock` for tests: reads what you set.
+
+    ::
+
+        clock = ManualClock(start=100.0)
+        clock()            # 100.0
+        clock.advance(2.5)
+        clock()            # 102.5
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot move backwards")
+        self.now += seconds
+        return self.now
 
 
 class Stopwatch:

@@ -105,9 +105,87 @@ class TestValidation:
         with pytest.raises(ValueError):
             loop.step(arrival_rate=-1.0, service_rate=10.0)
         with pytest.raises(ValueError):
-            loop.step(arrival_rate=1.0, service_rate=0.0)
-        with pytest.raises(ValueError):
             loop.step_utilization(-0.5)
+
+
+class TestUtilizationTarget:
+    """The explicit target override for latency-objective deployments."""
+
+    def test_default_target_is_paper_rule(self):
+        loop = ThrotLoop(queue_capacity=10)
+        assert loop.target_utilization == pytest.approx(1.0 - 1.0 / 10)
+
+    def test_override_replaces_derived_target(self):
+        loop = ThrotLoop(queue_capacity=10, utilization_target=0.8)
+        assert loop.target_utilization == pytest.approx(0.8)
+
+    def test_override_drives_z_below_paper_target(self):
+        """At measured ρ = 1−1/B (paper-stable), an 0.8 target still
+        tightens z — the headroom that drains a standing queue."""
+        paper = ThrotLoop(queue_capacity=100)
+        tight = ThrotLoop(queue_capacity=100, utilization_target=0.8)
+        rho = 1.0 - 1.0 / 100
+        paper.step_utilization(rho)
+        tight.step_utilization(rho)
+        assert paper.z == pytest.approx(1.0)
+        assert tight.z == pytest.approx(0.8 / rho)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, utilization_target=0.0)
+        with pytest.raises(ValueError):
+            ThrotLoop(queue_capacity=10, utilization_target=1.5)
+
+
+class TestStalledServer:
+    """Regression: μ <= 0 is a measured live condition, not a caller bug.
+
+    ``LoadMeasurement.utilization`` deliberately reports ``inf`` for a
+    dead server under load (and 0 at zero load); ``step()`` used to raise
+    ``ValueError`` for the same measurement, crashing a live control loop
+    on the first stalled period.  Both call paths must now agree.
+    """
+
+    def test_stalled_server_under_load_collapses_to_floor(self):
+        loop = ThrotLoop(queue_capacity=10, z_floor=0.05)
+        z = loop.step(arrival_rate=100.0, service_rate=0.0)
+        assert z == pytest.approx(0.05)
+        # Negative μ (a miscalibrated measurement) behaves the same.
+        assert ThrotLoop(queue_capacity=10, z_floor=0.05).step(
+            arrival_rate=1.0, service_rate=-2.0
+        ) == pytest.approx(0.05)
+
+    def test_stalled_idle_server_takes_reopen_path(self):
+        loop = ThrotLoop(queue_capacity=10, z=0.3, reopen_factor=2.0)
+        z = loop.step(arrival_rate=0.0, service_rate=0.0)
+        assert z == pytest.approx(0.6)
+
+    def test_step_matches_measurement_utilization_semantics(self):
+        """step(λ, μ) and step_utilization(LoadMeasurement.utilization)
+        must move z identically for every μ <= 0 edge case."""
+        from repro.server.cq_server import LoadMeasurement
+
+        for arrivals, mu in ((50, 0.0), (0, 0.0), (50, -1.0)):
+            measurement = LoadMeasurement(
+                arrivals=arrivals, processed=0, dropped=0,
+                period=1.0, service_rate=mu,
+            )
+            via_step = ThrotLoop(queue_capacity=10, z=0.5)
+            via_util = ThrotLoop(queue_capacity=10, z=0.5)
+            assert via_step.step(
+                measurement.arrival_rate, mu
+            ) == via_util.step_utilization(measurement.utilization)
+
+    def test_inf_utilization_does_not_poison_smoothing(self):
+        """A single stalled measurement must not pin the smoothed loop at
+        the floor forever (inf is absorbing under the EWMA)."""
+        loop = ThrotLoop(queue_capacity=50, smoothing=0.3, z_floor=0.01)
+        loop.step_utilization(loop.target_utilization)
+        loop.step(arrival_rate=10.0, service_rate=0.0)  # stalled period
+        assert loop.z == loop.z_floor
+        for _ in range(40):
+            loop.step_utilization(0.5)  # healthy again, underloaded
+        assert loop.z > 0.5  # budget recovered; inf was not sticky
 
 
 class TestSmoothing:

@@ -1,0 +1,107 @@
+"""Tests for the nearest-rank percentile estimator and SLO accounting.
+
+The estimator's documented contract: every reported percentile is an
+observed sample, and tiny windows (1–2 samples) degrade to sensible
+order statistics instead of NaN or an index error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import LatencySummary, SLOSpec, nearest_rank
+
+
+class TestNearestRank:
+    def test_single_sample_window_reports_that_sample_everywhere(self):
+        for q in (0.0, 50.0, 95.0, 99.0, 100.0):
+            assert nearest_rank([0.42], q) == 0.42
+
+    def test_two_sample_window(self):
+        samples = [10.0, 20.0]
+        # rank = ceil(q/100 * 2): p50 -> rank 1 (lower sample),
+        # p95/p99/p100 -> rank 2 (upper sample).
+        assert nearest_rank(samples, 50.0) == 10.0
+        assert nearest_rank(samples, 95.0) == 20.0
+        assert nearest_rank(samples, 99.0) == 20.0
+        assert nearest_rank(samples, 100.0) == 20.0
+
+    def test_q_zero_is_minimum(self):
+        assert nearest_rank([3.0, 1.0, 2.0], 0.0) == 1.0
+
+    def test_returns_an_observed_sample(self):
+        rng = np.random.default_rng(5)
+        samples = rng.uniform(0.0, 1.0, 101)
+        for q in (50.0, 95.0, 99.0):
+            assert nearest_rank(samples, q) in samples
+
+    def test_hundred_sample_p99_is_rank_99(self):
+        samples = np.arange(1.0, 101.0)  # 1..100
+        assert nearest_rank(samples, 99.0) == 99.0
+        assert nearest_rank(samples, 50.0) == 50.0
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            nearest_rank([], 50.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError, match="percentile"):
+            nearest_rank([1.0], 101.0)
+        with pytest.raises(ValueError, match="percentile"):
+            nearest_rank([1.0], -1.0)
+
+
+class TestLatencySummary:
+    def test_from_samples_orders_statistics(self):
+        summary = LatencySummary.from_samples([0.3, 0.1, 0.2])
+        assert summary.count == 3
+        assert summary.min == 0.1
+        assert summary.max == 0.3
+        assert summary.p50 == 0.2
+        assert summary.p99 == 0.3
+        assert summary.mean == pytest.approx(0.2)
+
+    def test_single_sample_summary(self):
+        summary = LatencySummary.from_samples([0.05])
+        assert summary.p50 == summary.p95 == summary.p99 == 0.05
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+    def test_to_dict_scales_to_milliseconds(self):
+        doc = LatencySummary.from_samples([0.1, 0.2]).to_dict()
+        assert doc["p50_ms"] == pytest.approx(100.0)
+        assert doc["max_ms"] == pytest.approx(200.0)
+        assert doc["count"] == 2
+
+
+class TestSLOSpec:
+    def test_violation_names_the_percentile(self):
+        slo = SLOSpec(name="ingest", p99_ms=50.0)
+        report = slo.evaluate(LatencySummary.from_samples([0.1, 0.2]))
+        assert not report.ok
+        assert report.violations == ("p99_ms",)
+        assert report.checked == ("p99_ms",)
+
+    def test_all_bounds_checked(self):
+        slo = SLOSpec(name="ingest", p50_ms=500.0, p95_ms=500.0, p99_ms=500.0)
+        report = slo.evaluate(LatencySummary.from_samples([0.1]))
+        assert report.ok
+        assert report.checked == ("p50_ms", "p95_ms", "p99_ms")
+
+    def test_unset_bounds_are_unconstrained(self):
+        slo = SLOSpec(name="ingest")
+        report = slo.evaluate(LatencySummary.from_samples([10.0]))
+        assert report.ok
+        assert report.checked == ()
+
+    def test_non_positive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="bad", p99_ms=0.0)
+
+    def test_to_dict_round_trips_the_verdict(self):
+        slo = SLOSpec(name="ingest", p99_ms=50.0)
+        doc = slo.evaluate(LatencySummary.from_samples([0.01])).to_dict()
+        assert doc["ok"] is True
+        assert doc["slo"] == "ingest"
+        assert doc["bounds_ms"] == {"p99_ms": 50.0}

@@ -9,6 +9,7 @@ from repro.queries import RangeQuery
 from repro.server import (
     BYTES_PER_REGION,
     UDP_PAYLOAD_BYTES,
+    ArrayBoundedQueue,
     BaseStation,
     BoundedQueue,
     MobileCQServer,
@@ -81,6 +82,38 @@ class TestBoundedQueue:
         q.offer(3)
         q.offer(4)  # dropped
         assert q.lifetime_dropped == 2
+
+    def test_drop_rate_survives_counter_reset(self):
+        """Regression: drop_rate() documents "fraction of all arrivals
+        dropped so far" but used to read the resettable counters, so any
+        reset_counters() silently turned it into a per-period rate."""
+        q = BoundedQueue(1)
+        q.offer(1)
+        q.offer(2)  # dropped: 1 of 2 arrivals
+        assert q.drop_rate() == pytest.approx(0.5)
+        q.reset_counters()
+        assert q.drop_rate() == pytest.approx(0.5)  # still 1 of 2, not 0/0
+        q.poll()
+        q.offer(3)
+        assert q.drop_rate() == pytest.approx(1 / 3)
+        assert q.period_drop_rate() == 0.0  # the per-period view
+
+    def test_array_queue_drop_rate_survives_counter_reset(self):
+        """The SoA queue mirrors the lifetime-derived drop_rate()."""
+        q = ArrayBoundedQueue(1)
+        q.offer_arrays(
+            np.zeros(2), np.arange(2), np.zeros((2, 2)), np.zeros((2, 2))
+        )  # 1 fits, 1 drops
+        assert q.drop_rate() == pytest.approx(0.5)
+        q.reset_counters()
+        assert q.drop_rate() == pytest.approx(0.5)
+        assert q.period_drop_rate() == 0.0
+        q.poll_arrays(1)
+        q.offer_arrays(
+            np.zeros(1), np.arange(1), np.zeros((1, 2)), np.zeros((1, 2))
+        )
+        assert q.drop_rate() == pytest.approx(1 / 3)
+        assert q.period_drop_rate() == 0.0
 
 
 class TestBaseStations:
