@@ -58,6 +58,7 @@ from repro.core.greedy import (
     _uniform_solution,
 )
 from repro.core.reduction import PiecewiseLinearReduction
+from repro.sanitize.errstate import vector_errstate
 
 __all__ = [
     "greedy_increment_arrays",
@@ -274,7 +275,21 @@ def greedy_increment_vector(
     its preconditions provably hold and hands the tail (budget landing,
     fairness engagement, cross-region gain ties) to the exact scalar
     continuation or the reference loop itself.
+
+    Under ``REPRO_SANITIZE=1`` the kernel runs with NaN/overflow
+    trapping (:func:`repro.sanitize.vector_errstate`).
     """
+    with vector_errstate():
+        return _greedy_increment_vector_impl(regions, pw, z, fairness, use_speed)
+
+
+def _greedy_increment_vector_impl(
+    regions: list[RegionStats],
+    pw: PiecewiseLinearReduction,
+    z: float,
+    fairness: float | None,
+    use_speed: bool,
+) -> GreedyResult:
     d_min, d_max = pw.delta_min, pw.delta_max
     l = len(regions)
     weights = _region_weights(regions, use_speed)
@@ -634,7 +649,24 @@ def greedy_increment_arrays(
     scalar continuation.  Results are bit-identical to running the
     reference loop per problem, and independent of how problems are
     grouped into batches (every op is row-local).
+
+    Under ``REPRO_SANITIZE=1`` the kernel runs with NaN/overflow
+    trapping (:func:`repro.sanitize.vector_errstate`); the deliberate
+    ``errstate(ignore)`` window around the landing-step division keeps
+    its local masking either way.
     """
+    with vector_errstate():
+        return _greedy_increment_arrays_impl(n, m, s, pw, z, use_speed)
+
+
+def _greedy_increment_arrays_impl(
+    n: np.ndarray,
+    m: np.ndarray,
+    s: np.ndarray,
+    pw: PiecewiseLinearReduction,
+    z: float,
+    use_speed: bool,
+) -> list[GreedyResult]:
     n = np.asarray(n, dtype=np.float64)
     m = np.asarray(m, dtype=np.float64)
     p_count, a = n.shape

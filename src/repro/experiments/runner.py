@@ -26,31 +26,26 @@ and is the reference execution the equivalence tests compare against.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core import LiraConfig
 from repro.experiments.common import ExperimentScale
+from repro.parallel import default_jobs, pool_is_profitable
 from repro.queries import QueryDistribution
 from repro.sim import Scenario, Simulation, SimulationConfig, build_scenario, make_policies
 from repro.sim.simulation import SimulationResult
 
-
-def default_jobs() -> int:
-    """Worker count when the caller does not specify one: all cores."""
-    return os.cpu_count() or 1
-
-
-def pool_is_profitable(n_workers: int, n_jobs: int) -> bool:
-    """Whether a process pool can possibly beat the serial loop.
-
-    On a single-core host the pool serializes the same work behind
-    fork/pickle overhead (measured ~6% slower on the medium z-sweep),
-    and a single job has no parallelism to exploit — both cases should
-    run in-process and be reported as such, not as a "speedup" row.
-    """
-    return n_workers > 1 and n_jobs > 1 and (os.cpu_count() or 1) > 1
+__all__ = [
+    "ScenarioSpec",
+    "SimJob",
+    "default_jobs",
+    "pool_is_profitable",
+    "run_job",
+    "run_jobs",
+    "run_policy_sweep",
+    "suite_jobs",
+]
 
 
 @dataclass(frozen=True)

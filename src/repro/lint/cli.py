@@ -3,6 +3,12 @@
 Exit codes: 0 — clean (warnings allowed); 1 — at least one
 error-severity finding (including unused suppressions and parse
 failures); 2 — usage error (unknown rule, missing path).
+
+``--jobs N`` fans the summary and lint phases over a process pool
+(``--jobs 0`` means one per CPU); ``--format sarif`` / ``--format
+github`` emit SARIF 2.1.0 and GitHub Actions workflow commands for CI
+annotation.  Per-function summaries are cached by content hash under
+``--cache-dir`` (default ``.reprolint_cache``; ``--no-cache`` disables).
 """
 
 from __future__ import annotations
@@ -13,8 +19,15 @@ import sys
 
 from repro.lint.config import LintConfig
 from repro.lint.engine import run_paths
-from repro.lint.findings import Severity
-from repro.lint.registry import all_rules
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import Rule, all_rules
+
+#: SARIF 2.1.0 static-analysis interchange (one run, physical locations).
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def _parse_rule_list(raw: str, known: frozenset[str]) -> frozenset[str]:
@@ -25,6 +38,68 @@ def _parse_rule_list(raw: str, known: frozenset[str]) -> frozenset[str]:
             f"unknown rule id(s): {', '.join(sorted(unknown))}"
         )
     return rules
+
+
+def sarif_report(
+    findings: list[Finding], rules: list[type[Rule]]
+) -> dict[str, object]:
+    """The findings as a SARIF 2.1.0 log (dict, ready for json.dumps)."""
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/lint_rules.md",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.summary},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule_id,
+                        "level": (
+                            "error" if f.severity is Severity.ERROR else "warning"
+                        ),
+                        "message": {"text": f.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": f.path},
+                                    "region": {
+                                        "startLine": f.line,
+                                        "startColumn": f.col,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }
+
+
+def github_line(finding: Finding) -> str:
+    """One GitHub Actions ``::error``/``::warning`` workflow command."""
+    level = "error" if finding.severity is Severity.ERROR else "warning"
+    # Workflow-command property values escape %, CR and LF.
+    message = (
+        finding.message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.rule_id}::{message}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,16 +118,36 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
         help="output format (default: text, one 'file:line:col RULE "
-        "message' per finding)",
+        "message' per finding; sarif = SARIF 2.1.0; github = workflow "
+        "commands for Actions annotations)",
     )
     parser.add_argument(
         "--select", metavar="RULES", help="comma-separated rule ids to run exclusively"
     )
     parser.add_argument(
         "--ignore", metavar="RULES", help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the summary and lint phases "
+        "(default: 1 = serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".reprolint_cache",
+        metavar="DIR",
+        help="summary cache directory (default: .reprolint_cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-function summary cache",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog and exit"
@@ -77,7 +172,12 @@ def main(argv: list[str] | None = None) -> int:
 
     config = LintConfig(select=select, ignore=ignore)
     try:
-        findings, files_checked = run_paths(list(args.paths), config=config)
+        findings, files_checked = run_paths(
+            list(args.paths),
+            config=config,
+            jobs=args.jobs,
+            cache_dir=None if args.no_cache else args.cache_dir,
+        )
     except FileNotFoundError as exc:
         parser.error(str(exc))
 
@@ -93,6 +193,16 @@ def main(argv: list[str] | None = None) -> int:
                 },
                 indent=2,
             )
+        )
+    elif args.format == "sarif":
+        print(json.dumps(sarif_report(findings, rules), indent=2))
+    elif args.format == "github":
+        for finding in findings:
+            print(github_line(finding))
+        print(
+            f"{len(findings)} finding(s): {len(errors)} error(s) in "
+            f"{files_checked} file(s)",
+            file=sys.stderr,
         )
     else:
         for finding in findings:

@@ -1,25 +1,47 @@
-"""The reprolint engine: one shared AST walk per file.
+"""The reprolint engine: a project pass feeding one shared walk per file.
 
-Every file is parsed once and walked once; each node is dispatched to
+Linting now runs in two phases.  **Phase 1** parses every file and
+builds (or loads from the content-hash cache) its per-function effect
+summary; the summaries join into a :class:`~repro.lint.project.ProjectIndex`
+whose taint closure makes rules *interprocedural* — a helper that reads
+the wall clock taints every call site reachable from it, across
+modules.  **Phase 2** walks each file once, dispatching every node to
 the rules registered for that node's type (see
-:class:`repro.lint.registry.Rule`).  The walk maintains an ancestor
-stack so rules can ask about their enclosing scope, and the
-:class:`FileContext` centralizes the cross-rule machinery — import
-resolution, per-scope assignment maps, suppression handling — so rules
-stay small and declarative.
+:class:`repro.lint.registry.Rule`) with the project index available as
+``ctx.project``.
+
+Both phases fan out over a ``ProcessPoolExecutor`` when ``jobs > 1``
+(same profitability fallback as the experiment sweep engine); results
+are position-sorted per file, so parallel runs are bit-identical to
+serial ones.
+
+The walk maintains an ancestor stack so rules can ask about their
+enclosing scope, and the :class:`FileContext` centralizes the
+cross-rule machinery — import resolution, per-scope assignment maps,
+suppression handling — so rules stay small and declarative.
 """
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path, PurePosixPath
 
 from repro.lint.config import LintConfig
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectIndex, SummaryCache
 from repro.lint.registry import Rule, all_rules
+from repro.lint.summaries import (
+    ImportResolver,
+    ModuleSummary,
+    module_name_for,
+    source_digest,
+    summarize_module,
+)
 from repro.lint.suppress import SuppressionIndex
+from repro.parallel import default_jobs, pool_is_profitable
 
 #: Node types that open a new assignment scope.
 _SCOPE_TYPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)
@@ -42,19 +64,35 @@ class ScopeInfo:
 class FileContext:
     """Everything rules may need to know about the file being linted."""
 
-    def __init__(self, path: str, source: str, tree: ast.Module, config: LintConfig):
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+        project: ProjectIndex | None = None,
+        module_name: str | None = None,
+    ):
         self.display_path = path
         self.posix_path = PurePosixPath(Path(path).as_posix()).as_posix()
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
         self.config = config
+        #: Whole-program index (None only for bare snippet linting);
+        #: gives rules transitive effect taints and async-ness of
+        #: resolved callees.
+        self.project = project
+        #: Dotted module name of this file within the project.
+        self.module_name = (
+            module_name if module_name is not None else module_name_for(path)
+        )
         #: Ancestor chain of the node currently being visited (outermost
         #: first; does not include the node itself).
         self.stack: list[ast.AST] = []
-        self.imports: dict[str, str] = {}
-        self.from_imports: dict[str, str] = {}
-        self._collect_imports(tree)
+        self._resolver = ImportResolver(tree)
+        self.imports = self._resolver.imports
+        self.from_imports = self._resolver.from_imports
         self._scopes: dict[ast.AST, ScopeInfo] = {}
 
     # ------------------------------------------------------------------
@@ -73,19 +111,6 @@ class FileContext:
     # Import-aware name resolution
     # ------------------------------------------------------------------
 
-    def _collect_imports(self, tree: ast.Module) -> None:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    self.imports[alias.asname or alias.name.split(".")[0]] = (
-                        alias.name if alias.asname else alias.name.split(".")[0]
-                    )
-            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
-                for alias in node.names:
-                    self.from_imports[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
-                    )
-
     def resolve(self, node: ast.AST) -> str | None:
         """Canonical dotted name of a Name/Attribute chain, or ``None``.
 
@@ -93,18 +118,41 @@ class FileContext:
         ``np.random.default_rng`` resolves to
         ``numpy.random.default_rng`` regardless of import spelling.
         """
-        if isinstance(node, ast.Name):
-            if node.id in self.from_imports:
-                return self.from_imports[node.id]
-            if node.id in self.imports:
-                return self.imports[node.id]
-            return node.id
-        if isinstance(node, ast.Attribute):
-            base = self.resolve(node.value)
-            if base is None:
-                return None
-            return f"{base}.{node.attr}"
-        return None
+        return self._resolver.resolve(node)
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """The callee's resolved name, folding ``self.x()`` methods.
+
+        ``self.helper()`` inside ``class C`` resolves to
+        ``<module>.C.helper`` so the project index can look it up; every
+        other shape defers to :meth:`resolve`.
+        """
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            for ancestor in reversed(self.stack):
+                if isinstance(ancestor, ast.ClassDef):
+                    return f"{self.module_name}.{ancestor.name}.{func.attr}"
+        return self.resolve(func)
+
+    def project_taints(self, node: ast.Call) -> dict[str, tuple[str, ...]]:
+        """Transitive effect taints of the called project function.
+
+        Witness chains are rooted at the resolved callee so the finding
+        message names the function being called, not just what it
+        eventually reaches.
+        """
+        if self.project is None:
+            return {}
+        name = self.resolve_call(node)
+        qualname = self.project.lookup(self.module_name, name)
+        if qualname is None:
+            return {}
+        taints = self.project.taints_of(self.module_name, name)
+        return {t: (qualname,) + chain for t, chain in taints.items()}
 
     # ------------------------------------------------------------------
     # Scope helpers
@@ -116,6 +164,13 @@ class FileContext:
             if isinstance(node, _SCOPE_TYPES):
                 return node
         return self.tree
+
+    def enclosing_function(self) -> ast.AST | None:
+        """Innermost function containing the current node, if any."""
+        for node in reversed(self.stack):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return node
+        return None
 
     def scope_info(self, scope: ast.AST) -> ScopeInfo:
         """Assignment/closure facts for ``scope`` (computed once, cached)."""
@@ -195,24 +250,49 @@ def _applicable_rules(ctx: FileContext, config: LintConfig) -> list[Rule]:
     return rules
 
 
+def _parse_failure(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id="REP999",
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
 def lint_source(
-    source: str, path: str = "<string>", config: LintConfig | None = None
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    project: ProjectIndex | None = None,
 ) -> list[Finding]:
-    """Lint one unit of Python source; returns findings sorted by position."""
+    """Lint one unit of Python source; returns findings sorted by position.
+
+    Without an explicit ``project``, a single-file index is built from
+    the source itself, so intra-file interprocedural findings (a local
+    helper reading the clock, flagged at its call sites) work even for
+    bare snippets.
+    """
     config = config or LintConfig()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="REP999",
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path=path, source=source, tree=tree, config=config)
+        return [_parse_failure(path, exc)]
+    if project is None:
+        project = ProjectIndex([summarize_module(path, source, tree=tree)])
+    return _lint_tree(path, source, tree, config, project)
+
+
+def _lint_tree(
+    path: str,
+    source: str,
+    tree: ast.Module,
+    config: LintConfig,
+    project: ProjectIndex | None,
+) -> list[Finding]:
+    ctx = FileContext(
+        path=path, source=source, tree=tree, config=config, project=project
+    )
     walker = _Walker(ctx, _applicable_rules(ctx, config))
     walker.walk(tree)
 
@@ -220,17 +300,19 @@ def lint_source(
     findings = suppressions.filter(walker.findings)
     if config.is_enabled("REP000"):
         findings.extend(
-            suppressions.unused(
-                path, config.severity_for("REP000", Severity.ERROR)
-            )
+            suppressions.unused(path, config.severity_for("REP000", Severity.ERROR))
         )
     return sorted(findings, key=lambda f: (f.line, f.col, f.rule_id))
 
 
-def lint_file(path: str | Path, config: LintConfig | None = None) -> list[Finding]:
+def lint_file(
+    path: str | Path,
+    config: LintConfig | None = None,
+    project: ProjectIndex | None = None,
+) -> list[Finding]:
     """Lint one file on disk."""
     text = Path(path).read_text(encoding="utf-8")
-    return lint_source(text, path=str(path), config=config)
+    return lint_source(text, path=str(path), config=config, project=project)
 
 
 def iter_python_files(paths: list[str | Path]) -> list[Path]:
@@ -247,12 +329,111 @@ def iter_python_files(paths: list[str | Path]) -> list[Path]:
     return sorted(dict.fromkeys(out))
 
 
+# ----------------------------------------------------------------------
+# Project runs (phase 1: summaries; phase 2: per-file rule walks)
+# ----------------------------------------------------------------------
+
+def _summarize_one(args: tuple[str, str]) -> ModuleSummary:
+    """Pool worker: summarize one file from its source text."""
+    path, source = args
+    return summarize_module(path, source)
+
+
+#: Per-worker state for phase-2 pool execution, set by the initializer
+#: (the sanctioned worker-global pattern: each process gets its own copy).
+_WORKER_PROJECT: ProjectIndex | None = None
+_WORKER_CONFIG: LintConfig | None = None
+
+
+def _lint_worker_init(modules: list[ModuleSummary], config: LintConfig) -> None:
+    global _WORKER_PROJECT, _WORKER_CONFIG
+    _WORKER_PROJECT = ProjectIndex(modules)
+    _WORKER_CONFIG = config
+
+
+def _lint_one(path: str) -> list[Finding]:
+    """Pool worker: re-read and lint one file against the shared index."""
+    assert _WORKER_CONFIG is not None
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [_parse_failure(path, exc)]
+    return _lint_tree(path, source, tree, _WORKER_CONFIG, _WORKER_PROJECT)
+
+
+def build_project(
+    sources: list[tuple[str, str]],
+    cache: SummaryCache | None = None,
+    jobs: int = 1,
+) -> ProjectIndex:
+    """Phase 1: summaries for every (path, source), cached and parallel."""
+    summaries: dict[str, ModuleSummary | None] = {}
+    missing: list[tuple[str, str]] = []
+    for path, source in sources:
+        if cache is not None:
+            digest = source_digest(module_name_for(path), source)
+            summaries[path] = cache.get(digest)
+            if summaries[path] is None:
+                missing.append((path, source))
+        else:
+            summaries[path] = None
+            missing.append((path, source))
+    if missing:
+        if pool_is_profitable(jobs, len(missing)):
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                computed = list(pool.map(_summarize_one, missing))
+        else:
+            computed = [_summarize_one(item) for item in missing]
+        for (path, _), summary in zip(missing, computed):
+            summaries[path] = summary
+            if cache is not None:
+                cache.put(summary)
+    return ProjectIndex([s for s in summaries.values() if s is not None])
+
+
 def run_paths(
-    paths: list[str | Path], config: LintConfig | None = None
+    paths: list[str | Path],
+    config: LintConfig | None = None,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = None,
 ) -> tuple[list[Finding], int]:
-    """Lint files/directories; returns ``(findings, files_checked)``."""
+    """Lint files/directories as one project; ``(findings, files_checked)``.
+
+    ``jobs > 1`` fans both phases over a process pool (with the shared
+    single-core/single-job fallback); ``cache_dir`` enables the
+    content-hash summary cache.  Findings are identical across all
+    (jobs, cache) combinations.
+    """
+    config = config or LintConfig()
     files = iter_python_files(paths)
+    if jobs is None:
+        jobs = 1
+    elif jobs <= 0:
+        jobs = default_jobs()
+    cache = SummaryCache(cache_dir) if cache_dir is not None else None
+
+    sources: list[tuple[str, str]] = [
+        (str(file), file.read_text(encoding="utf-8")) for file in files
+    ]
+    project = build_project(sources, cache=cache, jobs=jobs)
+
     findings: list[Finding] = []
-    for file in files:
-        findings.extend(lint_file(file, config=config))
+    if pool_is_profitable(jobs, len(sources)):
+        modules = list(project.modules.values())
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_lint_worker_init,
+            initargs=(modules, config),
+        ) as pool:
+            for result in pool.map(_lint_one, [path for path, _ in sources]):
+                findings.extend(result)
+    else:
+        for path, source in sources:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as exc:
+                findings.append(_parse_failure(path, exc))
+                continue
+            findings.extend(_lint_tree(path, source, tree, config, project))
     return findings, len(files)

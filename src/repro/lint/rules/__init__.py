@@ -9,14 +9,20 @@ Rule families:
   seam and the shedding-policy interface.
 * ``pools`` — REP030: picklability of process-pool callables.
 * ``sharding`` — REP031: ordered iteration over shard-keyed containers.
+* ``async_rules`` — REP040-REP043: blocking calls on the event loop,
+  unawaited coroutines, unobserved tasks, awaits under sync locks.
+* ``shardpool`` — REP050-REP052: pool workers mutating globals,
+  cross-module unordered shard reduction, unpicklable pool payloads.
 * ``meta`` — REP000 (unused suppression), REP999 (parse failure).
 """
 
 from repro.lint.rules import (  # noqa: F401 - imported for registration
+    async_rules,
     determinism,
     invariants,
     meta,
     numeric,
     pools,
     sharding,
+    shardpool,
 )

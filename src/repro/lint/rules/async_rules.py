@@ -1,0 +1,194 @@
+"""Async rules: the event loop must stay responsive and tasks owned.
+
+The live service (:mod:`repro.service`) runs load shedding on an
+asyncio loop with millisecond SLOs — one synchronous sleep or file read
+in a coroutine stalls every connection.  These rules flag the four ways
+asyncio code quietly rots: blocking calls on the loop (REP040), bare
+statement calls of coroutine functions (REP041), fire-and-forget tasks
+whose exceptions vanish (REP042), and awaits while holding a
+synchronous lock (REP043).
+
+REP040 uses the project index's ``blocks`` taint, so a helper that
+wraps ``time.sleep`` two modules away is flagged at its ``await``-less
+call site inside a coroutine; deferring through ``asyncio.to_thread`` /
+``run_in_executor`` clears the taint (the executor absorbs the block).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint import knowledge
+from repro.lint.engine import FileContext
+from repro.lint.findings import Finding
+from repro.lint.project import chain_text
+from repro.lint.registry import Rule, register
+
+
+def _in_async_function(ctx: FileContext) -> bool:
+    """True when the current node's innermost function is ``async def``."""
+    return isinstance(ctx.enclosing_function(), ast.AsyncFunctionDef)
+
+
+@register
+class BlockingCallInAsync(Rule):
+    """Synchronous blocking call on the event loop."""
+
+    id = "REP040"
+    name = "blocking-call-in-async"
+    summary = "blocking call inside async def stalls the event loop"
+    library_only = True
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_async_function(ctx):
+            return
+        qualname = ctx.resolve(node.func)
+        if qualname in knowledge.BLOCKING_CALLS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{qualname} blocks the event loop inside async def; use "
+                "the async equivalent or defer via asyncio.to_thread / "
+                "loop.run_in_executor",
+            )
+            return
+        chain = ctx.project_taints(node).get("blocks")
+        if chain is not None:
+            yield self.finding(
+                ctx,
+                node,
+                "call reaches a blocking operation inside async def "
+                f"({chain_text(chain)}); defer via asyncio.to_thread / "
+                "loop.run_in_executor",
+            )
+
+
+@register
+class UnawaitedCoroutine(Rule):
+    """Coroutine called as a bare statement — it never runs."""
+
+    id = "REP041"
+    name = "unawaited-coroutine"
+    summary = "bare call of an async function discards the coroutine"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.stack or not isinstance(ctx.stack[-1], ast.Expr):
+            return
+        qualname = ctx.resolve(node.func)
+        if qualname in knowledge.KNOWN_COROUTINE_FNS:
+            yield self.finding(
+                ctx,
+                node,
+                f"{qualname}(...) returns an awaitable that is discarded; "
+                "await it (or schedule it as a task)",
+            )
+            return
+        if ctx.project is not None and ctx.project.is_async_callable(
+            ctx.module_name, ctx.resolve_call(node)
+        ):
+            yield self.finding(
+                ctx,
+                node,
+                "async function called without await: the coroutine object "
+                "is discarded and the body never runs",
+            )
+
+
+@register
+class BareCreateTask(Rule):
+    """Task created with no owner: its exception disappears.
+
+    A task whose last reference is dropped can be garbage-collected
+    mid-flight, and one that dies with an exception logs nothing until
+    interpreter exit (if ever).  Keep the returned handle *and* attach
+    ``add_done_callback`` (or await the task) so failures surface.
+    """
+
+    id = "REP042"
+    name = "bare-create-task"
+    summary = "create_task result unretained or unobserved"
+    library_only = True
+    node_types = (ast.Call,)
+
+    _SPAWNERS = ("create_task", "ensure_future")
+
+    def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        func = node.func
+        is_spawner = (
+            isinstance(func, ast.Attribute) and func.attr in self._SPAWNERS
+        ) or (isinstance(func, ast.Name) and func.id in self._SPAWNERS)
+        if not is_spawner or not ctx.stack:
+            return
+        parent = ctx.stack[-1]
+        discarded = isinstance(parent, ast.Expr)
+        collected = isinstance(parent, (ast.List, ast.Tuple, ast.Set))
+        if not discarded and not collected:
+            return
+        if not discarded and self._scope_observes_tasks(ctx):
+            return
+        yield self.finding(
+            ctx,
+            node,
+            "task spawned without observing its outcome: retain the handle "
+            "and attach add_done_callback (or await it) so a crash in the "
+            "task is surfaced instead of silently dropped",
+        )
+
+    @staticmethod
+    def _scope_observes_tasks(ctx: FileContext) -> bool:
+        """True when the enclosing function wires done-callbacks somewhere."""
+        scope = ctx.enclosing_scope()
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Attribute) and sub.attr == "add_done_callback":
+                return True
+        return False
+
+
+@register
+class AwaitHoldingLock(Rule):
+    """``await`` while holding a synchronous lock.
+
+    The coroutine parks at the await with the lock held; any other
+    coroutine (or thread) contending for it deadlocks the loop.  Use
+    ``asyncio.Lock`` with ``async with``, or release before awaiting.
+    """
+
+    id = "REP043"
+    name = "await-holding-lock"
+    summary = "await inside `with <lock>:` can deadlock the event loop"
+    node_types = (ast.Await,)
+
+    def check(self, node: ast.Await, ctx: FileContext) -> Iterator[Finding]:
+        for ancestor in reversed(ctx.stack):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return
+            if isinstance(ancestor, ast.With):
+                for item in ancestor.items:
+                    if self._is_sync_lock(item.context_expr, ctx):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "await while holding a synchronous lock: other "
+                            "waiters block the whole event loop; use "
+                            "asyncio.Lock with `async with` or release "
+                            "before awaiting",
+                        )
+                        return
+
+    @staticmethod
+    def _is_sync_lock(expr: ast.expr, ctx: FileContext) -> bool:
+        if isinstance(expr, ast.Call):
+            return ctx.resolve(expr.func) in knowledge.SYNC_LOCK_CONSTRUCTORS
+        terminal = None
+        if isinstance(expr, ast.Name):
+            terminal = expr.id
+            value = ctx.local_value(expr.id)
+            if isinstance(value, ast.Call):
+                if ctx.resolve(value.func) in knowledge.SYNC_LOCK_CONSTRUCTORS:
+                    return True
+        elif isinstance(expr, ast.Attribute):
+            terminal = expr.attr
+        return terminal is not None and "lock" in terminal.lower()

@@ -6,6 +6,15 @@ output is a pure function of ``(spec, seed)``.  These rules flag the
 classic ways that promise quietly breaks: unseeded or global-state RNGs,
 wall-clock reads, iteration over unordered containers, and environment
 variables steering library behavior.
+
+REP001/REP002/REP004 are *interprocedural*: alongside the direct
+primitive reference, each also fires on any call whose callee —
+resolved through the project index — transitively performs the effect.
+A helper that reads ``time.time()`` three modules away is flagged at
+every reachable call site, with the witness chain in the message.
+Routing through a seam module (``repro.timing`` for clocks, the
+cache/CLI/sanitizer modules for the environment) absorbs the taint; see
+:mod:`repro.lint.project`.
 """
 
 from __future__ import annotations
@@ -13,51 +22,17 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint import knowledge
 from repro.lint.engine import FileContext
 from repro.lint.findings import Finding
+from repro.lint.project import chain_text
 from repro.lint.registry import Rule, register
 
-#: numpy legacy global-state API: order-sensitive process-wide state.
-_NP_LEGACY = {
-    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
-    "sample", "choice", "bytes", "shuffle", "permutation", "uniform",
-    "normal", "standard_normal", "beta", "binomial", "poisson",
-    "exponential", "gamma", "rayleigh", "vonmises", "lognormal",
-    "geometric", "hypergeometric", "laplace", "logistic", "multinomial",
-    "multivariate_normal", "pareto", "power", "triangular", "wald",
-    "weibull", "zipf",
-}
-
-#: stdlib ``random`` module-level functions (hidden shared Random()).
-_STDLIB_RANDOM = {
-    "random", "randint", "randrange", "choice", "choices", "shuffle",
-    "sample", "uniform", "triangular", "betavariate", "expovariate",
-    "gammavariate", "gauss", "lognormvariate", "normalvariate",
-    "vonmisesvariate", "paretovariate", "weibullvariate", "seed",
-    "getrandbits", "randbytes",
-}
-
-#: RNG constructors that must receive an explicit seed.
-_RNG_CONSTRUCTORS = {
-    "numpy.random.default_rng",
-    "numpy.random.RandomState",
-    "numpy.random.SeedSequence",
-    "random.Random",
-}
-
-#: Wall-clock reads (flagged as attribute/name references, so both
-#: ``time.time()`` calls and ``timer=time.time`` aliases are caught).
-_CLOCKS = {
-    "time.time", "time.time_ns",
-    "time.perf_counter", "time.perf_counter_ns",
-    "time.monotonic", "time.monotonic_ns",
-    "time.process_time", "time.process_time_ns",
-    "time.clock_gettime", "time.clock_gettime_ns",
-    "datetime.datetime.now", "datetime.datetime.today",
-    "datetime.datetime.utcnow", "datetime.date.today",
-}
-
-_ENV_READS = {"os.environ", "os.getenv", "os.environb"}
+_NP_LEGACY = knowledge.NP_LEGACY_GLOBAL_FNS
+_STDLIB_RANDOM = knowledge.STDLIB_RANDOM_FNS
+_RNG_CONSTRUCTORS = knowledge.RNG_CONSTRUCTORS
+_CLOCKS = knowledge.CLOCK_READS
+_ENV_READS = knowledge.ENV_READS
 
 
 @register
@@ -68,7 +43,9 @@ class UnseededRng(Rule):
     legacy ``np.random.*`` / ``random.*`` module functions mutate
     process-wide state that any import can perturb.  Every RNG in
     library code must be a generator constructed from an explicit seed
-    (or be passed one, like the trace engines do).
+    (or be passed one, like the trace engines do).  Calls into project
+    functions that transitively draw unseeded randomness are flagged
+    too.
     """
 
     id = "REP001"
@@ -80,6 +57,7 @@ class UnseededRng(Rule):
     def check(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
         qualname = ctx.resolve(node.func)
         if qualname is None:
+            yield from self._check_transitive(node, ctx)
             return
         if qualname in _RNG_CONSTRUCTORS:
             seeded = bool(node.args or node.keywords)
@@ -112,6 +90,19 @@ class UnseededRng(Rule):
                 f"random.{tail} uses the shared module-level RNG; use a "
                 "seeded random.Random(seed) (or numpy generator) instead",
             )
+        else:
+            yield from self._check_transitive(node, ctx)
+
+    def _check_transitive(self, node: ast.Call, ctx: FileContext) -> Iterator[Finding]:
+        chain = ctx.project_taints(node).get("rng")
+        if chain is not None:
+            yield self.finding(
+                ctx,
+                node,
+                "call reaches an unseeded/global RNG draw "
+                f"({chain_text(chain)}); thread an explicit seeded generator "
+                "through instead",
+            )
 
 
 @register
@@ -122,15 +113,29 @@ class WallClockRead(Rule):
     the host's scheduler.  All timing goes through
     :mod:`repro.timing` (re-exported by ``repro.metrics.cost``), the one
     allowlisted module; everything else must take durations as data.
+    Calls to project functions that transitively read a clock are
+    flagged at the call site with the witness chain — unless the chain
+    passes through the timing seam, which absorbs it.
     """
 
     id = "REP002"
     name = "wall-clock-read"
     summary = "wall-clock read outside the repro.timing harness"
-    default_allow = ("*/repro/timing.py", "repro/timing.py")
-    node_types = (ast.Attribute, ast.Name)
+    default_allow = knowledge.CLOCK_SEAM_PATHS
+    node_types = (ast.Attribute, ast.Name, ast.Call)
 
     def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            chain = ctx.project_taints(node).get("clock")
+            if chain is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "call reaches a wall-clock read outside the timing "
+                    f"harness ({chain_text(chain)}); route through "
+                    "repro.timing instead",
+                )
+            return
         if isinstance(node, ast.Name):
             if not isinstance(node.ctx, ast.Load):
                 return
@@ -245,18 +250,31 @@ class EnvironRead(Rule):
 
     Environment variables are invisible inputs: two runs of the same
     command can differ without any change to spec or seed.  Only the
-    cache module (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``) and CLI
-    entry points may consult them; library code takes parameters.
+    cache module (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``), CLI entry
+    points, and the opt-in runtime sanitizer switches may consult them;
+    library code takes parameters.  Calls into project functions that
+    transitively read the environment are flagged too.
     """
 
     id = "REP004"
     name = "environ-read"
     summary = "os.environ access outside sim/cache.py and CLI entry points"
     library_only = True
-    default_allow = ("*/repro/sim/cache.py", "*/__main__.py")
-    node_types = (ast.Attribute, ast.Name)
+    default_allow = knowledge.ENV_SEAM_PATHS
+    node_types = (ast.Attribute, ast.Name, ast.Call)
 
     def check(self, node: ast.AST, ctx: FileContext) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            chain = ctx.project_taints(node).get("env")
+            if chain is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "call reaches an os.environ access outside the config "
+                    f"seams ({chain_text(chain)}); pass explicit parameters "
+                    "instead",
+                )
+            return
         if isinstance(node, ast.Name):
             if not isinstance(node.ctx, ast.Load):
                 return

@@ -18,20 +18,35 @@ from repro.lint.engine import FileContext
 from repro.lint.findings import Finding
 from repro.lint.registry import Rule, register
 
-#: Pool/executor constructors whose workers live in other processes.
-_POOL_CONSTRUCTORS = {
-    "ProcessPoolExecutor",
-    "concurrent.futures.ProcessPoolExecutor",
-    "Pool",
-    "multiprocessing.Pool",
-    "multiprocessing.pool.Pool",
-}
+from repro.lint.knowledge import (
+    POOL_CONSTRUCTORS as _POOL_CONSTRUCTORS,
+    POOL_METHODS as _POOL_METHODS,
+)
 
-#: Methods that ship their first positional argument to workers.
-_POOL_METHODS = {
-    "map", "submit", "imap", "imap_unordered", "apply", "apply_async",
-    "starmap", "starmap_async", "map_async",
-}
+
+def _is_pool(expr: ast.AST, ctx: FileContext) -> bool:
+    """Heuristic: the receiver is a process pool/executor."""
+    if not isinstance(expr, ast.Name):
+        return False
+    lowered = expr.id.lower()
+    if "pool" in lowered or "executor" in lowered:
+        return True
+    value = ctx.local_value(expr.id)
+    if isinstance(value, ast.Call):
+        qualname = ctx.resolve(value.func)
+        return qualname in _POOL_CONSTRUCTORS
+    return False
+
+
+def _unpicklable(expr: ast.AST, ctx: FileContext) -> bool:
+    """Lambda, or a name bound to a function nested in the current scope."""
+    if isinstance(expr, ast.Lambda):
+        return True
+    if isinstance(expr, ast.Name):
+        scope = ctx.enclosing_scope()
+        if not isinstance(scope, ast.Module):
+            return expr.id in ctx.scope_info(scope).nested_functions
+    return False
 
 
 @register
@@ -52,7 +67,7 @@ class UnpicklablePoolCallable(Rule):
         ):
             if qualname in _POOL_CONSTRUCTORS or qualname.rpartition(".")[0] == "":
                 for kw in node.keywords:
-                    if kw.arg == "initializer" and self._unpicklable(kw.value, ctx):
+                    if kw.arg == "initializer" and _unpicklable(kw.value, ctx):
                         yield self.finding(
                             ctx,
                             kw.value,
@@ -63,9 +78,9 @@ class UnpicklablePoolCallable(Rule):
         if (
             isinstance(func, ast.Attribute)
             and func.attr in _POOL_METHODS
-            and self._is_pool(func.value, ctx)
+            and _is_pool(func.value, ctx)
             and node.args
-            and self._unpicklable(node.args[0], ctx)
+            and _unpicklable(node.args[0], ctx)
         ):
             yield self.finding(
                 ctx,
@@ -74,27 +89,3 @@ class UnpicklablePoolCallable(Rule):
                 "be module-level: lambdas and nested functions do not "
                 "pickle under the spawn start method",
             )
-
-    @staticmethod
-    def _is_pool(expr: ast.AST, ctx: FileContext) -> bool:
-        """Heuristic: the receiver is a process pool/executor."""
-        if not isinstance(expr, ast.Name):
-            return False
-        lowered = expr.id.lower()
-        if "pool" in lowered or "executor" in lowered:
-            return True
-        value = ctx.local_value(expr.id)
-        if isinstance(value, ast.Call):
-            qualname = ctx.resolve(value.func)
-            return qualname in _POOL_CONSTRUCTORS
-        return False
-
-    @staticmethod
-    def _unpicklable(expr: ast.AST, ctx: FileContext) -> bool:
-        if isinstance(expr, ast.Lambda):
-            return True
-        if isinstance(expr, ast.Name):
-            scope = ctx.enclosing_scope()
-            if not isinstance(scope, ast.Module):
-                return expr.id in ctx.scope_info(scope).nested_functions
-        return False

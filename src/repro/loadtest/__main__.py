@@ -155,7 +155,10 @@ async def run(args: argparse.Namespace) -> dict:
         if args.spawn:
             tmpdir = tempfile.TemporaryDirectory(prefix="lira-loadtest-")
             socket_path = os.path.join(tmpdir.name, "lira.sock")
-            process = spawn_service(args, socket_path)
+            # One-shot fork/exec before the measurement window opens;
+            # nothing else is scheduled on the loop yet, so briefly
+            # blocking it here cannot distort measured latencies.
+            process = spawn_service(args, socket_path)  # reprolint: disable=REP040
             await wait_for_socket(socket_path, SPAWN_CONNECT_TIMEOUT_S)
         report = await run_loadtest(
             schedule,

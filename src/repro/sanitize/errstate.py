@@ -1,0 +1,30 @@
+"""Strict floating-point state for the vector kernels.
+
+The vectorized adapt path (:mod:`repro.core.greedy_vector`) reduces
+large float arrays where a NaN or silent overflow would propagate into
+every downstream threshold.  Under ``REPRO_SANITIZE=1`` the kernels run
+with ``np.errstate(invalid="raise", over="raise")`` so the first bad
+operation raises ``FloatingPointError`` at its source; otherwise this
+is a free ``nullcontext``.
+
+Fully typed because ``repro.core.greedy_vector`` is checked with
+``disallow_untyped_calls``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, ContextManager
+
+import numpy as np
+
+__all__ = ["vector_errstate"]
+
+
+def vector_errstate() -> ContextManager[Any]:
+    """Strict errstate when sanitizing is enabled, else a no-op."""
+    from repro import sanitize
+
+    if sanitize.enabled():
+        return np.errstate(invalid="raise", over="raise")
+    return contextlib.nullcontext()

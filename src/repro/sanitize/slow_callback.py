@@ -1,0 +1,108 @@
+"""Event-loop slow-callback detector (the dynamic face of REP040).
+
+asyncio's own ``loop.slow_callback_duration`` only reports in debug
+mode, with a fixed wall-clock source.  This detector instruments
+``asyncio.events.Handle._run`` — the single choke point every scheduled
+callback and task step passes through — with an *injectable clock*, so
+tests can drive it deterministically with
+:class:`repro.timing.ManualClock` while production uses the monotonic
+clock.  Callbacks that run longer than the threshold are recorded and
+logged; nothing about callback semantics changes.
+"""
+
+from __future__ import annotations
+
+import asyncio.events
+import logging
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import timing
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["SlowCallback", "SlowCallbackDetector"]
+
+
+@dataclass(frozen=True)
+class SlowCallback:
+    """One callback that held the event loop past the threshold."""
+
+    callback: str
+    duration_s: float
+
+
+class SlowCallbackDetector:
+    """Context manager instrumenting every event-loop callback.
+
+    ``threshold_s`` is the loop-hold budget; ``clock`` defaults to
+    :func:`repro.timing.monotonic` and is called immediately before and
+    after each callback.  Install is idempotent and reversible; nesting
+    two detectors is not supported (the second ``install`` is a no-op).
+    """
+
+    def __init__(
+        self,
+        threshold_s: float = 0.1,
+        clock: timing.Clock = timing.monotonic,
+        on_slow: Callable[[SlowCallback], None] | None = None,
+    ) -> None:
+        self.threshold_s = threshold_s
+        self.clock = clock
+        self.on_slow = on_slow
+        self.records: list[SlowCallback] = []
+        self._original: Callable[[Any], None] | None = None
+
+    @property
+    def installed(self) -> bool:
+        return self._original is not None
+
+    def install(self) -> None:
+        if self._original is not None:
+            return
+        original = asyncio.events.Handle._run
+        self._original = original
+        detector = self
+
+        def _timed_run(handle: Any) -> None:
+            start = detector.clock()
+            try:
+                original(handle)
+            finally:
+                elapsed = detector.clock() - start
+                if elapsed >= detector.threshold_s:
+                    detector._record(handle, elapsed)
+
+        asyncio.events.Handle._run = _timed_run  # type: ignore[method-assign]
+
+    def uninstall(self) -> None:
+        if self._original is not None:
+            asyncio.events.Handle._run = self._original  # type: ignore[method-assign]
+            self._original = None
+
+    def _record(self, handle: Any, elapsed: float) -> None:
+        record = SlowCallback(callback=self._describe(handle), duration_s=elapsed)
+        self.records.append(record)
+        logger.warning(
+            "event loop blocked %.1f ms (threshold %.1f ms) by %s",
+            record.duration_s * 1e3,
+            self.threshold_s * 1e3,
+            record.callback,
+        )
+        if self.on_slow is not None:
+            self.on_slow(record)
+
+    @staticmethod
+    def _describe(handle: Any) -> str:
+        callback = getattr(handle, "_callback", None)
+        name = getattr(callback, "__qualname__", None)
+        if name is None:
+            name = repr(callback)
+        return name
+
+    def __enter__(self) -> "SlowCallbackDetector":
+        self.install()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.uninstall()

@@ -68,6 +68,7 @@ from repro.geo import Rect
 from repro.history import TrajectoryStore
 from repro.motion import DeadReckoningFleet
 from repro.queries import RangeQuery
+from repro.sanitize import rng_discipline
 from repro.server.base_station import BaseStation, place_uniform_stations
 from repro.server.cq_server import MobileCQServer
 from repro.server.node_engine import StationAssigner, VectorNodeEngine
@@ -622,6 +623,12 @@ class ShardedLiraSystem:
         """One adaptation across all shards + coordinator rebalance."""
         if not self._bootstrapped:
             raise RuntimeError("call bootstrap() before adapt()")
+        # Under REPRO_SANITIZE=1 any hidden global-RNG draw in the
+        # adaptation path raises instead of silently de-seeding runs.
+        with rng_discipline():
+            self._adapt_impl(positions, speeds)
+
+    def _adapt_impl(self, positions: np.ndarray, speeds: np.ndarray) -> None:
         measurements = []
         for shard in self.shards:
             assert shard.server is not None

@@ -40,6 +40,7 @@ from repro.motion import DeadReckoningFleet
 from repro.queries import RangeQuery
 from repro.server.base_station import BaseStation, place_uniform_stations
 from repro.server.cq_server import MobileCQServer
+from repro.sanitize import rng_discipline
 from repro.server.node_engine import (
     NODE_ENGINES,
     ObjectNodeEngine,
@@ -208,24 +209,27 @@ class LiraSystem:
 
     def adapt(self, positions: np.ndarray, speeds: np.ndarray) -> None:
         """One adaptation: measure load, set z, recompute + broadcast plan."""
-        measurement = self.server.take_load_measurement()
-        if measurement.period > 0:
-            self.shedder.observe_load(
-                measurement.arrival_rate, self.server.service_rate
-            )
-        if self.policy == "random-drop":
-            plan = self._trivial_plan()
-        else:
-            grid = StatisticsGrid.from_snapshot(
-                self.bounds,
-                self.config.resolved_alpha,
-                positions,
-                speeds,
-                self.server.queries,
-            )
-            plan = self.shedder.adapt(grid)
-        self.network.install_plan(plan, t=self.current_time)
-        self._plan_installed = True
+        # Under REPRO_SANITIZE=1 any hidden global-RNG draw in the
+        # adaptation path raises instead of silently de-seeding runs.
+        with rng_discipline():
+            measurement = self.server.take_load_measurement()
+            if measurement.period > 0:
+                self.shedder.observe_load(
+                    measurement.arrival_rate, self.server.service_rate
+                )
+            if self.policy == "random-drop":
+                plan = self._trivial_plan()
+            else:
+                grid = StatisticsGrid.from_snapshot(
+                    self.bounds,
+                    self.config.resolved_alpha,
+                    positions,
+                    speeds,
+                    self.server.queries,
+                )
+                plan = self.shedder.adapt(grid)
+            self.network.install_plan(plan, t=self.current_time)
+            self._plan_installed = True
 
     def _trivial_plan(self) -> SheddingPlan:
         """One region covering the bounds at Δ⊢: no source throttling.

@@ -41,10 +41,11 @@ import asyncio
 import logging
 from collections import deque
 from dataclasses import dataclass
+from typing import Any, Coroutine
 
 import numpy as np
 
-from repro import timing
+from repro import sanitize, timing
 from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
 from repro.core.greedy import RegionStats
 from repro.core.plan import SheddingPlan, clamp_thresholds
@@ -273,6 +274,7 @@ class LiraService:
         self._subscribers: list[_Subscriber] = []
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._tasks: list[asyncio.Task] = []
+        self._slow_callback_detector: sanitize.SlowCallbackDetector | None = None
 
     # ------------------------------------------------------------------
     # Synchronous core (socket-free; what the protocol handlers call)
@@ -330,24 +332,28 @@ class LiraService:
         truth — a live server only knows what was reported to it.
         """
         now = self.clock()
-        measurement = self.server.take_load_measurement()
-        if measurement.period > 0:
-            # Routes through ThrotLoop.step(), which tolerates a stalled
-            # μ <= 0 measurement (collapse to z_floor under load, reopen
-            # when idle) instead of raising mid-adaptation.
-            self.shedder.observe_load(
-                measurement.arrival_rate, self.server.service_rate
-            )
-        plan: SheddingPlan | None = None
-        if self.policy == "lira":
-            plan = self._lira_plan(now)
-        if plan is None:
-            plan = self._trivial_plan()
-        self.network.install_plan(plan, t=now)
-        self.plan = plan
-        self.plan_generated_t = now
-        self.counters.plans_computed += 1
-        return plan
+        # Under REPRO_SANITIZE=1 any hidden global-RNG draw in the
+        # adaptation path raises instead of silently de-seeding runs.
+        with sanitize.rng_discipline():
+            measurement = self.server.take_load_measurement()
+            if measurement.period > 0:
+                # Routes through ThrotLoop.step(), which tolerates a
+                # stalled μ <= 0 measurement (collapse to z_floor under
+                # load, reopen when idle) instead of raising
+                # mid-adaptation.
+                self.shedder.observe_load(
+                    measurement.arrival_rate, self.server.service_rate
+                )
+            plan: SheddingPlan | None = None
+            if self.policy == "lira":
+                plan = self._lira_plan(now)
+            if plan is None:
+                plan = self._trivial_plan()
+            self.network.install_plan(plan, t=now)
+            self.plan = plan
+            self.plan_generated_t = now
+            self.counters.plans_computed += 1
+            return plan
 
     def _lira_plan(self, now: float) -> SheddingPlan | None:
         """A region plan from believed state; ``None`` before any report."""
@@ -619,10 +625,38 @@ class LiraService:
             self._asyncio_server = await asyncio.start_server(
                 self._handle_conn, host=host, port=port
             )
+        if sanitize.enabled():
+            self._slow_callback_detector = sanitize.SlowCallbackDetector(
+                threshold_s=sanitize.slow_callback_threshold_s()
+            )
+            self._slow_callback_detector.install()
         self._tasks = [
-            asyncio.create_task(self._pump_loop(), name="lira-service-pump"),
-            asyncio.create_task(self._adapt_loop(), name="lira-service-adapt"),
+            self._spawn_task(self._pump_loop(), name="lira-service-pump"),
+            self._spawn_task(self._adapt_loop(), name="lira-service-adapt"),
         ]
+
+    def _spawn_task(self, coro: Coroutine[Any, Any, None], name: str) -> asyncio.Task:
+        """Create a background task whose failure is surfaced, not lost.
+
+        A bare ``create_task`` whose handle dies with the method frame
+        can be garbage-collected mid-flight, and an exception that kills
+        the loop task would go unreported until interpreter exit.  The
+        done-callback logs any non-cancellation death immediately
+        (REP042).
+        """
+        task = asyncio.create_task(coro, name=name)
+        task.add_done_callback(self._on_task_done)
+        return task
+
+    @staticmethod
+    def _on_task_done(task: asyncio.Task) -> None:
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            logger.error(
+                "service background task %r died: %r", task.get_name(), exc
+            )
 
     @property
     def bound_port(self) -> int | None:
@@ -644,7 +678,14 @@ class LiraService:
                 await task
             except asyncio.CancelledError:
                 pass
+            except Exception:
+                # Already reported by _on_task_done; a dead pump must
+                # not abort shutdown of the listener and its peer task.
+                pass
         self._tasks = []
+        if self._slow_callback_detector is not None:
+            self._slow_callback_detector.uninstall()
+            self._slow_callback_detector = None
         if self._asyncio_server is not None:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()

@@ -55,6 +55,13 @@ class TestRegistry:
             "REP021",
             "REP030",
             "REP031",
+            "REP040",
+            "REP041",
+            "REP042",
+            "REP043",
+            "REP050",
+            "REP051",
+            "REP052",
             "REP999",
         } <= ids
 
@@ -595,10 +602,494 @@ class TestSelfCheck:
         env = dict(os.environ)
         env["PYTHONPATH"] = str(REPO_ROOT / "src")
         proc = subprocess.run(
-            [sys.executable, "-m", "repro.lint", "src"],
+            [sys.executable, "-m", "repro.lint", "--no-cache", "src"],
             cwd=REPO_ROOT,
             env=env,
             capture_output=True,
             text=True,
         )
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestInterproceduralDeterminism:
+    """REP001/REP002/REP004 through the single-file project index."""
+
+    def test_rep002_flags_call_into_clock_reading_helper(self):
+        findings = lint(
+            """
+            import time
+
+            def helper():
+                return time.time()
+
+            def caller():
+                return helper()
+            """
+        )
+        ids = [f.rule_id for f in findings]
+        assert ids == ["REP002", "REP002"]
+        call_site = findings[-1]
+        assert "repro.example.helper -> time.time" in call_site.message
+
+    def test_rep001_flags_call_into_unseeded_rng_helper(self):
+        ids = rule_ids(
+            """
+            import numpy as np
+
+            def make_rng():
+                return np.random.default_rng()
+
+            def simulate():
+                return make_rng()
+            """
+        )
+        assert ids == ["REP001", "REP001"]
+
+    def test_seeded_helper_is_clean_at_call_sites(self):
+        assert (
+            rule_ids(
+                """
+                import numpy as np
+
+                def make_rng(seed):
+                    return np.random.default_rng(seed)
+
+                def simulate():
+                    return make_rng(3)
+                """
+            )
+            == []
+        )
+
+    def test_rep004_flags_call_into_environ_reading_helper(self):
+        ids = rule_ids(
+            """
+            import os
+
+            def flag():
+                return os.getenv("X")
+
+            def run():
+                return flag()
+            """
+        )
+        assert ids == ["REP004", "REP004"]
+
+    def test_method_call_resolves_through_self(self):
+        findings = lint(
+            """
+            import time
+
+            class Runner:
+                def stamp(self):
+                    return time.time()
+
+                def run(self):
+                    return self.stamp()
+            """
+        )
+        assert [f.rule_id for f in findings] == ["REP002", "REP002"]
+        assert "repro.example.Runner.stamp" in findings[-1].message
+
+
+class TestRep040BlockingInAsync:
+    def test_direct_blocking_call_flagged(self):
+        assert "REP040" in rule_ids(
+            """
+            import time
+
+            async def pump():
+                time.sleep(0.1)
+            """
+        )
+
+    def test_transitive_blocking_helper_flagged_with_chain(self):
+        findings = lint(
+            """
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+
+            async def pump():
+                backoff()
+            """
+        )
+        rep040 = [f for f in findings if f.rule_id == "REP040"]
+        assert len(rep040) == 1
+        assert "repro.example.backoff -> time.sleep" in rep040[0].message
+
+    def test_to_thread_deferral_is_clean(self):
+        assert "REP040" not in rule_ids(
+            """
+            import asyncio
+            import time
+
+            async def pump():
+                await asyncio.to_thread(time.sleep, 0.1)
+            """
+        )
+
+    def test_blocking_in_sync_function_not_flagged_by_rep040(self):
+        assert "REP040" not in rule_ids(
+            """
+            import time
+
+            def backoff():
+                time.sleep(0.1)
+            """
+        )
+
+    def test_only_library_code_checked(self):
+        assert "REP040" not in rule_ids(
+            """
+            import time
+
+            async def pump():
+                time.sleep(0.1)
+            """,
+            path="tests/test_example.py",
+        )
+
+
+class TestRep041UnawaitedCoroutine:
+    def test_bare_call_of_project_async_def_flagged(self):
+        assert "REP041" in rule_ids(
+            """
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            def kickoff():
+                job()
+            """
+        )
+
+    def test_bare_known_stdlib_coroutine_flagged(self):
+        assert "REP041" in rule_ids(
+            """
+            import asyncio
+
+            async def pump():
+                asyncio.sleep(1.0)
+            """
+        )
+
+    def test_awaited_and_scheduled_calls_clean(self):
+        assert "REP041" not in rule_ids(
+            """
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                await job()
+                task = asyncio.create_task(job())
+                task.add_done_callback(print)
+                await task
+            """
+        )
+
+    def test_sync_bare_call_clean(self):
+        assert "REP041" not in rule_ids(
+            """
+            def job():
+                return 1
+
+            def kickoff():
+                job()
+            """
+        )
+
+
+class TestRep042BareCreateTask:
+    def test_discarded_task_flagged(self):
+        assert "REP042" in rule_ids(
+            """
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                asyncio.create_task(job())
+            """
+        )
+
+    def test_list_collected_tasks_without_observer_flagged(self):
+        ids = rule_ids(
+            """
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                tasks = [
+                    asyncio.create_task(job()),
+                    asyncio.create_task(job()),
+                ]
+                return tasks
+            """
+        )
+        assert ids.count("REP042") == 2
+
+    def test_retained_handle_with_done_callback_clean(self):
+        assert "REP042" not in rule_ids(
+            """
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                task = asyncio.create_task(job())
+                task.add_done_callback(print)
+                await task
+            """
+        )
+
+    def test_collected_tasks_with_observer_clean(self):
+        assert "REP042" not in rule_ids(
+            """
+            import asyncio
+
+            async def job():
+                await asyncio.sleep(0)
+
+            async def main():
+                tasks = [asyncio.create_task(job())]
+                for task in tasks:
+                    task.add_done_callback(print)
+                return tasks
+            """
+        )
+
+
+class TestRep043AwaitHoldingLock:
+    def test_await_inside_sync_lock_flagged(self):
+        assert "REP043" in rule_ids(
+            """
+            import asyncio
+            import threading
+
+            _lock = threading.Lock()
+
+            async def update():
+                with _lock:
+                    await asyncio.sleep(0)
+            """
+        )
+
+    def test_locally_constructed_lock_flagged(self):
+        assert "REP043" in rule_ids(
+            """
+            import asyncio
+            import threading
+
+            async def update():
+                guard = threading.Lock()
+                with guard:
+                    await asyncio.sleep(0)
+            """
+        )
+
+    def test_async_with_clean(self):
+        assert "REP043" not in rule_ids(
+            """
+            import asyncio
+
+            async def update(lock):
+                async with lock:
+                    await asyncio.sleep(0)
+            """
+        )
+
+    def test_non_lock_context_clean(self):
+        assert "REP043" not in rule_ids(
+            """
+            import asyncio
+            import contextlib
+
+            async def update():
+                with contextlib.nullcontext():
+                    await asyncio.sleep(0)
+            """
+        )
+
+
+class TestRep050PoolWorkerGlobalMutation:
+    def test_job_mutating_module_global_flagged(self):
+        findings = lint(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _CACHE = {}
+
+            def job(x):
+                _CACHE[x] = x
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(job, items))
+            """
+        )
+        rep050 = [f for f in findings if f.rule_id == "REP050"]
+        assert len(rep050) == 1
+        assert "_CACHE" in rep050[0].message
+
+    def test_transitive_mutation_through_helper_flagged(self):
+        assert "REP050" in rule_ids(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _STATS = {}
+
+            def bump(key):
+                _STATS[key] = _STATS.get(key, 0) + 1
+
+            def job(x):
+                bump(x)
+                return x
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(job, items))
+            """
+        )
+
+    def test_pure_job_clean(self):
+        assert "REP050" not in rule_ids(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def job(x):
+                return x * 2
+
+            def run(items):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(job, items))
+            """
+        )
+
+    def test_initializer_mutating_globals_is_sanctioned(self):
+        assert "REP050" not in rule_ids(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _STATE = {}
+
+            def _init(payload):
+                _STATE["cfg"] = payload
+
+            def job(x):
+                return _STATE["cfg"], x
+
+            def run(items, payload):
+                with ProcessPoolExecutor(
+                    initializer=_init, initargs=(payload,)
+                ) as pool:
+                    return list(pool.map(job, items))
+            """
+        )
+
+
+class TestRep051UnorderedCrossShardReduce:
+    def test_same_module_callee_left_to_rep031(self):
+        ids = rule_ids(
+            """
+            def merge(shards):
+                total = 0.0
+                for key in shards.keys():
+                    total += shards[key]
+                return total
+
+            def reduce_all(shards):
+                return merge(shards)
+            """
+        )
+        assert "REP031" in ids
+        assert "REP051" not in ids
+
+
+class TestRep052UnpicklablePoolArgument:
+    def test_lambda_in_payload_flagged(self):
+        assert "REP052" in rule_ids(
+            """
+            def run(pool, job):
+                return pool.submit(job, lambda: 1)
+            """
+        )
+
+    def test_lambda_inside_partial_flagged(self):
+        assert "REP052" in rule_ids(
+            """
+            import functools
+
+            def run(pool, job, combine):
+                return pool.submit(job, functools.partial(combine, lambda: 2))
+            """
+        )
+
+    def test_nested_function_keyword_flagged(self):
+        assert "REP052" in rule_ids(
+            """
+            def run(pool, job):
+                def local_key(x):
+                    return -x
+
+                return pool.submit(job, key=local_key)
+            """
+        )
+
+    def test_plain_data_payload_clean(self):
+        assert "REP052" not in rule_ids(
+            """
+            import functools
+
+            def run(pool, job, combine):
+                return pool.submit(job, 3, functools.partial(combine, 2), key="x")
+            """
+        )
+
+
+class TestOutputFormats:
+    def _dirty(self, tmp_path: Path) -> Path:
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\nt = time.time()\n")
+        return target
+
+    def test_sarif_report(self, tmp_path, capsys):
+        target = self._dirty(tmp_path)
+        assert lint_main(["--format", "sarif", "--no-cache", str(target)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_index = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "REP002" in rule_index
+        result = run["results"][0]
+        assert result["ruleId"] == "REP002"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == str(target)
+        assert location["region"]["startLine"] == 2
+
+    def test_github_annotations(self, tmp_path, capsys):
+        target = self._dirty(tmp_path)
+        assert lint_main(["--format", "github", "--no-cache", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert f"::error file={target},line=2," in out
+        assert "title=REP002::" in out
+
+    def test_github_escapes_newlines(self):
+        from repro.lint.cli import github_line
+        from repro.lint.findings import Finding
+
+        line = github_line(
+            Finding(rule_id="REP999", path="a.py", line=1, col=1, message="x\ny%z")
+        )
+        assert "%0A" in line and "%25" in line and "\n" not in line

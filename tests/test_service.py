@@ -2,6 +2,7 @@
 adaptation loop, and the socket protocol end to end."""
 
 import asyncio
+import logging
 
 import numpy as np
 import pytest
@@ -404,5 +405,64 @@ class TestSocketProtocol:
                 writer.close()
             finally:
                 await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestBackgroundTaskSupervision:
+    """A background loop that dies must be reported, and stop() must
+    still shut the service down cleanly (regression for the bare
+    create_task pair in start())."""
+
+    def test_dead_pump_task_is_logged_and_stop_survives(self, tmp_path, caplog):
+        sock = str(tmp_path / "dead.sock")
+
+        def exploding_clock():
+            raise RuntimeError("clock backend gone")
+
+        async def scenario():
+            service = make_service()
+            await service.start(path=sock)
+            # Kill the pump on its next wakeup: clock() is read outside
+            # the per-iteration try, so the exception escapes the loop.
+            service.clock = exploding_clock
+            await asyncio.sleep(0.05)
+            assert any(t.done() for t in service._tasks)
+            await service.stop()
+            assert service._tasks == []
+
+        with caplog.at_level(logging.ERROR, logger="repro.service.service"):
+            asyncio.run(scenario())
+        messages = [r.getMessage() for r in caplog.records]
+        assert any(
+            "lira-service-pump" in m and "died" in m for m in messages
+        ), messages
+
+    def test_cancellation_on_stop_is_not_reported_as_death(self, tmp_path, caplog):
+        sock = str(tmp_path / "quiet.sock")
+
+        async def scenario():
+            service = make_service()
+            await service.start(path=sock)
+            await asyncio.sleep(0.02)
+            await service.stop()
+
+        with caplog.at_level(logging.ERROR, logger="repro.service.service"):
+            asyncio.run(scenario())
+        assert not any("died" in r.getMessage() for r in caplog.records)
+
+    def test_slow_callback_detector_lifecycle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sock = str(tmp_path / "san.sock")
+
+        async def scenario():
+            service = make_service()
+            await service.start(path=sock)
+            try:
+                assert service._slow_callback_detector is not None
+                assert service._slow_callback_detector.installed
+            finally:
+                await service.stop()
+            assert service._slow_callback_detector is None
 
         asyncio.run(scenario())
