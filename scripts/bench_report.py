@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf regression harness: run the hot-path benchmarks, emit BENCH_7.json.
+"""Perf regression harness: run the hot-path benchmarks, emit BENCH_8.json.
 
 Collects several kinds of evidence:
 
@@ -38,14 +38,21 @@ Collects several kinds of evidence:
    declared SLO for both policies, with the overload contract asserted
    in-bench: LIRA must hold the SLO, random-drop must violate it, and
    the p99 ratio (random-drop / LIRA) is the gate metric.
+10. Incremental adaptation: the steady-state adapt round under
+    localized drift at the paper's default scale (l=250, α=128,
+    N=20k) — incremental pipeline (dirty-cell refresh + gain memo +
+    plan deltas) vs the full vectorized recompute, plans asserted
+    bit-identical every round, plus the plan-broadcast bytes of delta
+    installs vs full pushes (deterministic accounting).  Gates: adapt
+    speedup ≥ 3x and broadcast-byte reduction ≥ 5x.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_7.json]
+    PYTHONPATH=src python scripts/bench_report.py [-o BENCH_8.json]
         [--skip-micro] [--skip-macro] [--skip-trace] [--skip-cache]
         [--skip-faults] [--skip-systems] [--skip-adapt]
-        [--skip-sharding] [--skip-service] [--sharding-gate-only]
-        [--no-regress-check]
+        [--skip-sharding] [--skip-service] [--skip-incremental]
+        [--sharding-gate-only] [--no-regress-check]
 
 The output schema is stable so future PRs can diff their numbers
 against this file (see ``schema``).  When the output file already
@@ -251,39 +258,64 @@ def run_cache_bench(repeats: int = 3) -> dict:
     }
 
 
-def run_faults_bench(repeats: int = 3) -> dict:
+def run_faults_bench(repetitions: int = 9) -> dict:
     """Systems-loop wall-clock across channel configurations (SMALL).
 
     The lossless default (``faults=None``) is the baseline; a null-spec
     injector must cost ~nothing on top of it (the seam short-circuits);
     the lossy spec shows what fault injection itself costs.
+
+    Reported as median + IQR over interleaved repetitions rather than
+    best-of: the earlier best-of-3 numbers swung the null-injector
+    overhead between −9.4% and +6.5% across reports on the shared
+    container — pure scheduling noise on a ~0 true difference.  The
+    medians of interleaved samples (each config visited once per pass,
+    so slow background episodes hit all configs alike) are stable
+    enough to read, and the IQR makes the remaining noise visible in
+    the report instead of laundering it into a point estimate.
     """
+    import statistics
+
     from repro.experiments.common import SMALL
     from repro.experiments.resilience import run_system
     from repro.faults import FaultSpec
-    from repro.metrics.cost import best_wall_seconds
+    from repro.metrics.cost import Stopwatch
 
     SMALL.scenario()  # warm the scenario cache out of the timed region
 
-    def timed(spec):
-        return best_wall_seconds(
-            lambda: run_system(SMALL, "lira", spec=spec), repeats=repeats
-        )
-
-    bare = timed(None)
-    null = timed(FaultSpec())
-    lossy = timed(
-        FaultSpec(uplink_loss=0.2, uplink_delay=0.1, downlink_loss=0.2)
-    )
-    return {
-        "scale": "small",
-        "no_injector_s": round(bare, 4),
-        "null_injector_s": round(null, 4),
-        "lossy_injector_s": round(lossy, 4),
-        "null_overhead_pct": round((null / bare - 1.0) * 100.0, 2),
-        "lossy_overhead_pct": round((lossy / bare - 1.0) * 100.0, 2),
-        "lossy_spec": "uplink_loss=0.2 uplink_delay=0.1 downlink_loss=0.2",
+    specs = {
+        "no_injector": None,
+        "null_injector": FaultSpec(),
+        "lossy_injector": FaultSpec(
+            uplink_loss=0.2, uplink_delay=0.1, downlink_loss=0.2
+        ),
     }
+    samples: dict[str, list[float]] = {name: [] for name in specs}
+    for _ in range(repetitions):
+        for name, spec in specs.items():
+            with Stopwatch() as stopwatch:
+                run_system(SMALL, "lira", spec=spec)
+            samples[name].append(stopwatch.elapsed)
+
+    def summarize(values: list[float]) -> dict:
+        q1, _, q3 = statistics.quantiles(values, n=4)
+        return {
+            "median_s": round(statistics.median(values), 4),
+            "iqr_s": round(q3 - q1, 4),
+        }
+
+    result: dict = {"scale": "small", "repetitions": repetitions}
+    for name in specs:
+        result[name] = summarize(samples[name])
+    bare = result["no_injector"]["median_s"]
+    result["null_overhead_pct"] = round(
+        (result["null_injector"]["median_s"] / bare - 1.0) * 100.0, 2
+    )
+    result["lossy_overhead_pct"] = round(
+        (result["lossy_injector"]["median_s"] / bare - 1.0) * 100.0, 2
+    )
+    result["lossy_spec"] = "uplink_loss=0.2 uplink_delay=0.1 downlink_loss=0.2"
+    return result
 
 
 #: Side / dt of the synthesized systems-loop scene (paper's 14 km square).
@@ -801,6 +833,193 @@ def run_service_bench(
     }
 
 
+def _incremental_adapt_scenario(fairness: float | None, gated: bool) -> dict:
+    """One steady-state drift run: incremental vs full adapt, byte account.
+
+    Localized drift at the paper's default scale: each round jitters 30%
+    of the nodes inside a fixed 3.2 km patch by ±120 m, leaving ~95% of
+    the α=128 statistics grid untouched — the regime GRIDREDUCE's gain
+    memo and the plan-delta wire format are built for.  Both shedders
+    consume the *same* grids; plans are asserted bit-identical every
+    round before any timing is read.  Broadcast bytes are counted from
+    the first post-warmup round on two identical station networks, one
+    fed full plans and one fed deltas — a deterministic quantity (pure
+    region accounting, no wall clock), unlike the timed speedup.
+    """
+    import statistics
+
+    import numpy as np
+
+    from repro.core import (
+        AnalyticReduction,
+        LiraConfig,
+        LiraLoadShedder,
+        StatisticsGrid,
+    )
+    from repro.geo import Rect
+    from repro.metrics.cost import Stopwatch
+    from repro.queries import QueryDistribution, generate_workload
+    from repro.server.base_station import place_uniform_stations
+    from repro.server.protocol import BaseStationNetwork
+
+    side = 10_000.0
+    bounds = Rect(0.0, 0.0, side, side)
+    n_nodes = 20_000
+    patch = (3_000.0, 3_000.0, 6_200.0, 6_200.0)
+    warm, rounds = 2, 10
+    z = 0.6
+
+    rng = np.random.default_rng(23)
+    positions = rng.uniform(0.0, side, (n_nodes, 2))
+    speeds = rng.uniform(0.5, 30.0, n_nodes)
+    queries = generate_workload(
+        bounds, 40, 800.0, QueryDistribution.PROPORTIONAL, positions, seed=11
+    )
+    config = LiraConfig(l=250, alpha=128, fairness=fairness)
+    reduction = AnalyticReduction(5.0, 100.0)
+    full = LiraLoadShedder(config, reduction, engine="vector")
+    inc = LiraLoadShedder(config, reduction, engine="vector", incremental=True)
+    full.set_throttle_fraction(z)
+    inc.set_throttle_fraction(z)
+    stations = place_uniform_stations(bounds, 1_500.0)
+    net_full = BaseStationNetwork(list(stations))
+    net_delta = BaseStationNetwork(list(stations))
+
+    prev_plan = None
+    prev_stats = None
+    full_s: list[float] = []
+    inc_s: list[float] = []
+    dirty_fracs: list[float] = []
+    geometry_resyncs = 0
+    marks = (0, 0)
+    for r in range(warm + rounds):
+        if r:
+            x1, y1, x2, y2 = patch
+            in_patch = (
+                (positions[:, 0] >= x1)
+                & (positions[:, 0] < x2)
+                & (positions[:, 1] >= y1)
+                & (positions[:, 1] < y2)
+            )
+            idx = rng.choice(
+                np.flatnonzero(in_patch),
+                size=int(in_patch.sum() * 0.3),
+                replace=False,
+            )
+            positions[idx] += rng.uniform(-120.0, 120.0, (idx.size, 2))
+            np.clip(
+                positions[idx],
+                [x1, y1],
+                [x2 - 1e-9, y2 - 1e-9],
+                out=positions[idx],
+            )
+        grid = StatisticsGrid.from_snapshot(
+            bounds, config.resolved_alpha, positions, speeds, queries
+        )
+        if prev_stats is not None:
+            dirty = (
+                (grid.n != prev_stats[0])
+                | (grid.m != prev_stats[1])
+                | (grid.s != prev_stats[2])
+            )
+            dirty_fracs.append(float(dirty.mean()))
+        prev_stats = (grid.n.copy(), grid.m.copy(), grid.s.copy())
+        with Stopwatch() as full_watch:
+            plan_full = full.adapt(grid)
+        with Stopwatch() as inc_watch:
+            plan_inc = inc.adapt(grid)
+        if len(plan_full.regions) != len(plan_inc.regions):
+            raise RuntimeError(
+                "incremental bench: partitions diverged at round "
+                f"{r}: {len(plan_full.regions)} vs {len(plan_inc.regions)}"
+            )
+        for ref, cand in zip(plan_full.regions, plan_inc.regions):
+            if (
+                ref.rect != cand.rect
+                or ref.delta != cand.delta
+                or ref.n != cand.n
+                or ref.m != cand.m
+                or ref.s != cand.s
+            ):
+                raise RuntimeError(
+                    f"incremental bench: plans diverged at round {r}: "
+                    f"{ref} vs {cand}"
+                )
+        net_full.install_plan(plan_full, t=float(r))
+        if plan_inc is not prev_plan:
+            delta = prev_plan.diff(plan_inc) if prev_plan is not None else None
+            if delta is None and prev_plan is not None and r >= warm:
+                geometry_resyncs += 1
+            net_delta.install_plan(plan_inc, t=float(r), delta=delta)
+        prev_plan = plan_inc
+        if r == warm - 1:
+            marks = (
+                net_full.total_broadcast_bytes,
+                net_delta.total_broadcast_bytes,
+            )
+        if r >= warm:
+            full_s.append(full_watch.elapsed)
+            inc_s.append(inc_watch.elapsed)
+
+    full_bytes = net_full.total_broadcast_bytes - marks[0]
+    delta_bytes = net_delta.total_broadcast_bytes - marks[1]
+    bytes_ratio = full_bytes / max(delta_bytes, 1)
+    full_median = statistics.median(full_s)
+    inc_median = statistics.median(inc_s)
+    speedup = full_median / inc_median
+    if gated and speedup < 3.0:
+        raise RuntimeError(
+            f"incremental bench: steady-state adapt speedup {speedup:.2f}x "
+            "is below the 3x contract (incremental vs full vector recompute)"
+        )
+    if gated and bytes_ratio < 5.0:
+        raise RuntimeError(
+            f"incremental bench: broadcast-byte reduction {bytes_ratio:.2f}x "
+            "is below the 5x contract (delta installs vs full pushes)"
+        )
+    cache = inc.session.gridreduce
+    return {
+        "fairness": fairness,
+        "rounds": rounds,
+        "full_adapt_ms": round(full_median * 1e3, 3),
+        "incremental_adapt_ms": round(inc_median * 1e3, 3),
+        "speedup_incremental_vs_full": round(speedup, 2),
+        "median_dirty_cell_pct": round(
+            statistics.median(dirty_fracs) * 100.0, 2
+        ),
+        "memo_hits": cache.hits,
+        "memo_misses": cache.misses,
+        "geometry_resyncs": geometry_resyncs,
+        "full_push_bytes": full_bytes,
+        "delta_push_bytes": delta_bytes,
+        "bytes_reduction_vs_full": round(bytes_ratio, 2),
+        "plans_identical": True,
+        "gated": gated,
+    }
+
+
+def run_incremental_adapt_bench() -> dict:
+    """Incremental adapt pipeline vs full recompute under localized drift.
+
+    The ``uniform`` scenario (no fairness constraint) is the gated one:
+    adapt speedup ≥ 3x and broadcast-byte reduction ≥ 5x are asserted
+    in-bench, with bit-identical plans checked every round.  The
+    ``fairness`` variant re-measures the same drift with the fairness
+    floor active (GREEDYINCREMENT does strictly more work per region,
+    so the speedup is smaller) and is reported ungated.
+    """
+    return {
+        "scenario": (
+            "N=20k nodes, l=250, alpha=128, z=0.6, 10 km square, 40 "
+            "queries; 30% of nodes in a fixed 3.2 km patch jittered "
+            "+/-120 m per round (~5% dirty cells); 2 warmup + 10 "
+            "measured rounds; stations at 1.5 km radius"
+        ),
+        "uniform": _incremental_adapt_scenario(fairness=None, gated=True),
+        "fairness_50": _incremental_adapt_scenario(fairness=50.0, gated=False),
+    }
+
+
 #: Allowed shrinkage of the adapt-step speedup (object ms / vector ms)
 #: vs the committed baseline before the report run fails.  The gate is
 #: on the *ratio*, not absolute milliseconds, so it holds on machines
@@ -897,6 +1116,43 @@ def check_service_regression(baseline_path: Path, measured: dict) -> None:
         )
 
 
+def check_incremental_regression(baseline_path: Path, measured: dict) -> None:
+    """Fail fast if the incremental-adapt contract eroded vs the baseline.
+
+    Two gate metrics from the ``uniform`` scenario: the steady-state
+    adapt speedup (a timing ratio — machine speed cancels) and the
+    broadcast-byte reduction (deterministic region accounting, so any
+    shrink at all is a real wire-format change, but the shared tolerance
+    keeps the check uniform).
+    """
+    if not baseline_path.exists():
+        return
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return
+    old_entry = baseline.get("incremental_adapt", {}).get("uniform", {})
+    new_entry = measured.get("uniform", {})
+    gates = (
+        ("speedup_incremental_vs_full", "steady-state adapt speedup"),
+        ("bytes_reduction_vs_full", "broadcast-byte reduction"),
+    )
+    for key, label in gates:
+        old = old_entry.get(key)
+        new = new_entry.get(key)
+        if not old or not new:
+            continue
+        if new < old * (1.0 - REGRESSION_TOLERANCE):
+            raise SystemExit(
+                f"incremental-adapt regression: {label} {new:.2f}x is "
+                f"{(1.0 - new / old) * 100.0:.1f}% below the committed "
+                f"baseline {old:.2f}x in {baseline_path.name} (tolerance "
+                f"{REGRESSION_TOLERANCE:.0%}).  Investigate before "
+                "re-recording, or pass --no-regress-check to accept the "
+                "new numbers."
+            )
+
+
 def machine_info() -> dict:
     import numpy
 
@@ -910,7 +1166,7 @@ def machine_info() -> dict:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_7.json"))
+    parser.add_argument("-o", "--output", default=str(REPO / "BENCH_8.json"))
     parser.add_argument("--skip-micro", action="store_true")
     parser.add_argument("--skip-macro", action="store_true")
     parser.add_argument("--skip-trace", action="store_true")
@@ -920,6 +1176,7 @@ def main() -> None:
     parser.add_argument("--skip-adapt", action="store_true")
     parser.add_argument("--skip-sharding", action="store_true")
     parser.add_argument("--skip-service", action="store_true")
+    parser.add_argument("--skip-incremental", action="store_true")
     parser.add_argument(
         "--sharding-gate-only",
         action="store_true",
@@ -936,7 +1193,7 @@ def main() -> None:
     args = parser.parse_args()
 
     report = {
-        "schema": "lira-bench/7",
+        "schema": "lira-bench/8",
         "recorded": "2026-08-07",
         "machine": machine_info(),
     }
@@ -963,7 +1220,7 @@ def main() -> None:
     if not args.skip_cache:
         report["scenario_cache"] = run_cache_bench(repeats=max(args.repeats, 3))
     if not args.skip_faults:
-        report["fault_injection"] = run_faults_bench(repeats=max(args.repeats, 3))
+        report["fault_injection"] = run_faults_bench()
     if not args.skip_systems:
         report["systems_loop"] = run_systems_loop_bench(
             repeats=max(args.repeats, 3)
@@ -982,6 +1239,12 @@ def main() -> None:
         report["live_service"] = run_service_bench()
         if not args.no_regress_check:
             check_service_regression(Path(args.output), report["live_service"])
+    if not args.skip_incremental:
+        report["incremental_adapt"] = run_incremental_adapt_bench()
+        if not args.no_regress_check:
+            check_incremental_regression(
+                Path(args.output), report["incremental_adapt"]
+            )
 
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))

@@ -1,0 +1,185 @@
+#!/usr/bin/env python
+"""Cross-schema perf trend gate: current bench report vs its predecessor.
+
+``bench_report.py``'s in-run regression checks compare a fresh
+measurement against the *same* committed file — they catch a PR that
+slows the code it re-measures.  What they cannot catch is drift across
+report generations: each PR records a new ``BENCH_<n>.json`` (new
+schema, new sections), and a slowdown hiding in the newly recorded
+numbers would silently become the next baseline.  This gate closes
+that hole by comparing every tracked metric across the two committed
+reports and failing if any slowed beyond the tolerance.
+
+**Why paired ratios, not raw medians.**  The two reports are recorded
+in different sessions on a shared container whose absolute speed is
+not stable: between ``BENCH_7.json`` and ``BENCH_8.json`` the
+*unoptimized reference paths this repo never touches* drifted by
+×0.9–×1.7 (pytest-benchmark micro medians inflated ~45% even on an
+idle machine; subprocess-level best-of numbers swung ±45% run to
+run), so a 25% gate on raw medians would be permanently red on pure
+environment noise.  Each tracked metric is therefore normalized by a
+reference metric *measured in the same pass with the same machinery*
+(the object/bruteforce counterpart the bench already records for its
+speedup claims): machine state cancels, and the gated quantity is
+"how much faster is the optimized path than its reference" — the
+thing each PR actually promised.  Re-measured across recordings,
+these pairs hold within a few percent while the raw medians swing
+tens of percent.
+
+A metric missing on either side is reported and skipped — schemas
+evolve — but if *nothing* could be compared the gate fails, because
+that means the tracked list rotted.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trend.py \
+        [--baseline BENCH_7.json] [--current BENCH_8.json] \
+        [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Allowed growth of any tracked cost ratio before the gate fails.
+#: Matches ``bench_report.REGRESSION_TOLERANCE``: cross-recording
+#: noise on the paired ratios is a few percent, a real regression in
+#: an optimized path is far larger.
+TOLERANCE = 0.25
+
+#: (label, metric path, reference path) — dotted paths into the report
+#: JSON.  The gated quantity is metric/reference (cost of the
+#: optimized path relative to its same-pass unoptimized counterpart;
+#: lower is better).  Sections whose shape changed between schemas
+#: carry per-schema paths as (old, new) tuples.  The fault-injection
+#: section became median + IQR dicts in lira-bench/8, hence the split.
+TRACKED: tuple[tuple[str, object, object], ...] = (
+    (
+        "sim measurement tick (kernel / bruteforce)",
+        "median_ns.sim_measurement_tick_kernel",
+        "median_ns.sim_measurement_tick_bruteforce",
+    ),
+    (
+        "query eval (kernel / bruteforce)",
+        "median_ns.kernel_eval",
+        "median_ns.bruteforce_eval",
+    ),
+    (
+        "adapt step micro (vector / object)",
+        "median_ns.adapt_step_vector",
+        "median_ns.adapt_step",
+    ),
+    (
+        "trace generation (fleet / object)",
+        "trace_generation.fleet_engine_s",
+        "trace_generation.object_engine_s",
+    ),
+    (
+        "cold scenario build (fleet / object)",
+        "scenario_cache.cold_build_fleet_engine_s",
+        "scenario_cache.cold_build_object_engine_s",
+    ),
+    (
+        "systems tick N=2000 (vector / object)",
+        "systems_loop.n2000.vector_tick_ms",
+        "systems_loop.n2000.object_tick_ms",
+    ),
+    (
+        "adapt step bench (vector / object)",
+        "adapt_path.vector_adapt_step_ms",
+        "adapt_path.object_adapt_step_ms",
+    ),
+    (
+        "sharded tick N=100k (K=4 per shard / unsharded)",
+        "sharding.gate.k4.per_shard_tick_s",
+        "sharding.gate.lira_system_tick_s",
+    ),
+    (
+        "fault seam (null injector / no injector)",
+        (
+            "fault_injection.null_injector_s",
+            "fault_injection.null_injector.median_s",
+        ),
+        (
+            "fault_injection.no_injector_s",
+            "fault_injection.no_injector.median_s",
+        ),
+    ),
+)
+
+
+def lookup(report: dict, dotted: str) -> float | None:
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _resolve(path: object, side: int) -> str:
+    """One dotted path, or the per-schema (baseline, current) pair."""
+    return path[side] if isinstance(path, tuple) else path  # type: ignore[index]
+
+
+def _ratio(report: dict, metric: object, ref: object, side: int) -> float | None:
+    numerator = lookup(report, _resolve(metric, side))
+    denominator = lookup(report, _resolve(ref, side))
+    if numerator is None or denominator is None or denominator <= 0.0:
+        return None
+    return numerator / denominator
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> int:
+    compared = 0
+    failures: list[str] = []
+    for label, metric, ref in TRACKED:
+        old = _ratio(baseline, metric, ref, side=0)
+        new = _ratio(current, metric, ref, side=1)
+        if old is None or new is None or old <= 0.0:
+            print(f"  skip  {label}: missing on one side")
+            continue
+        compared += 1
+        change = new / old - 1.0
+        mark = "ok" if change <= tolerance else "FAIL"
+        print(f"  {mark:4}  {label}: {old:.4f} -> {new:.4f} ({change:+.1%})")
+        if change > tolerance:
+            failures.append(
+                f"{label} cost ratio grew {change:.1%} "
+                f"({old:.4f} -> {new:.4f}, tolerance {tolerance:.0%})"
+            )
+    if compared == 0:
+        print("bench_trend: no tracked metric exists in both reports")
+        return 1
+    if failures:
+        print(f"bench_trend: {len(failures)} tracked ratio(s) regressed:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"bench_trend: {compared} tracked ratios within {tolerance:.0%}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default=str(REPO / "BENCH_7.json"))
+    parser.add_argument("--current", default=str(REPO / "BENCH_8.json"))
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE)
+    args = parser.parse_args(argv)
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+    print(
+        f"bench_trend: {Path(args.baseline).name} "
+        f"({baseline.get('schema')}) -> {Path(args.current).name} "
+        f"({current.get('schema')})"
+    )
+    return compare(baseline, current, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

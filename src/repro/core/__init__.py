@@ -16,7 +16,17 @@ from repro.core.gridreduce import (
 )
 from repro.core.greedy import GreedyResult, RegionStats, greedy_increment
 from repro.core.greedy_vector import greedy_increment_batch, greedy_increment_vector
-from repro.core.plan import SheddingPlan, SheddingRegion, clamp_thresholds
+from repro.core.incremental import (
+    IncrementalAdaptSession,
+    IncrementalGridReduceCache,
+)
+from repro.core.plan import (
+    PlanDelta,
+    PlanEpochMismatch,
+    SheddingPlan,
+    SheddingRegion,
+    clamp_thresholds,
+)
 from repro.core.quadtree import RegionHierarchy, RegionNode
 from repro.core.reduction import (
     AnalyticReduction,
@@ -33,9 +43,13 @@ __all__ = [
     "AdaptationReport",
     "AnalyticReduction",
     "GreedyResult",
+    "IncrementalAdaptSession",
+    "IncrementalGridReduceCache",
     "LiraConfig",
     "LiraLoadShedder",
     "PartitioningResult",
+    "PlanDelta",
+    "PlanEpochMismatch",
     "PiecewiseLinearReduction",
     "PlanValidationReport",
     "ReductionFunction",

@@ -20,10 +20,18 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.greedy import RegionStats, greedy_increment
+from repro.core.incremental import (
+    GridReduceTrajectory,
+    IncrementalGridReduceCache,
+)
 from repro.core.quadtree import RegionHierarchy, RegionNode
 from repro.core.reduction import PiecewiseLinearReduction, ReductionFunction
 
 if TYPE_CHECKING:
+    from collections.abc import Callable
+
+    import numpy as np
+
     from repro.core.statistics_grid import StatisticsGrid
     from repro.geo import Rect
 
@@ -139,6 +147,240 @@ def _calc_err_gain_batch(
     return gains
 
 
+def _gather_keys(
+    hierarchy: RegionHierarchy, level: int, ii: "np.ndarray", jj: "np.ndarray"
+) -> "np.ndarray":
+    """``(len, KEY_WIDTH)`` gain-key matrix for non-leaf nodes at one level.
+
+    Row layout: the node's own ``(n, m, s)`` followed by the same triple
+    for each child in row-major 2×2 order — the exact float inputs
+    CALCERRGAIN reads, so two rounds gathering equal rows produce
+    bit-identical gains regardless of engine.
+    """
+    import numpy as np
+
+    n0, m0, s0 = hierarchy.level_stats(level)
+    n1, m1, s1 = hierarchy.level_stats(level + 1)
+    i2, j2 = 2 * ii, 2 * jj
+    cols = [n0[ii, jj], m0[ii, jj], s0[ii, jj]]
+    for di, dj in ((0, 0), (0, 1), (1, 0), (1, 1)):
+        ic, jc = i2 + di, j2 + dj
+        cols.extend((n1[ic, jc], m1[ic, jc], s1[ic, jc]))
+    return np.stack(cols, axis=1)
+
+
+def _vector_coord_kernel(
+    hierarchy: RegionHierarchy,
+    z: float,
+    reduction: ReductionFunction,
+    pw: PiecewiseLinearReduction,
+    use_speed: bool,
+):
+    """Gain kernel scoring coordinate groups in ONE array-kernel call.
+
+    The flattened counterpart of :func:`_calc_err_gain_batch`: child
+    statistics from *all* levels concatenate into a single
+    ``greedy_increment_arrays`` invocation (problems are solved
+    independently, so batch composition cannot change any result),
+    eliminating the per-level kernel dispatch overhead on the
+    incremental path's small miss batches.
+    """
+    import numpy as np
+
+    from repro.core.greedy_vector import greedy_increment_arrays
+
+    def kernel(groups) -> "np.ndarray":
+        total = sum(len(ii) for _, ii, _ in groups)
+        gains = np.zeros(total, dtype=np.float64)
+        node_n = np.empty(total, dtype=np.float64)
+        node_m = np.empty(total, dtype=np.float64)
+        n4 = np.empty((total, 4), dtype=np.float64)
+        m4 = np.empty((total, 4), dtype=np.float64)
+        s4 = np.empty((total, 4), dtype=np.float64)
+        offset = 0
+        for level, ii, jj in groups:
+            sl = slice(offset, offset + len(ii))
+            n0, m0, _ = hierarchy.level_stats(level)
+            n1, m1, s1 = hierarchy.level_stats(level + 1)
+            node_n[sl] = n0[ii, jj]
+            node_m[sl] = m0[ii, jj]
+            i2, j2 = 2 * ii, 2 * jj
+            for c, (di, dj) in enumerate(((0, 0), (0, 1), (1, 0), (1, 1))):
+                ic, jc = i2 + di, j2 + dj
+                n4[sl, c] = n1[ic, jc]
+                m4[sl, c] = m1[ic, jc]
+                s4[sl, c] = s1[ic, jc]
+            offset += len(ii)
+        # calc_err_gain's eligibility guard: no queries to protect or no
+        # updates to shed means splitting cannot help — gain exactly 0.
+        eligible = (node_m > 0.0) & (node_n > 0.0)
+        if eligible.any():
+            results = greedy_increment_arrays(
+                n4[eligible], m4[eligible], s4[eligible], pw, z, use_speed
+            )
+            single_delta = reduction.delta_for_fraction(z)
+            inaccuracy = np.array(
+                [r.inaccuracy for r in results], dtype=np.float64
+            )
+            gains[eligible] = np.maximum(
+                0.0, node_m[eligible] * single_delta - inaccuracy
+            )
+        return gains
+
+    return kernel
+
+
+def _object_coord_kernel(
+    hierarchy: RegionHierarchy,
+    z: float,
+    reduction: ReductionFunction,
+    increment: float | None,
+    use_speed: bool,
+):
+    """Reference-engine gain kernel over coordinate groups."""
+    import numpy as np
+
+    def kernel(groups) -> "np.ndarray":
+        out: list[float] = []
+        for level, ii, jj in groups:
+            for i, j in zip(ii.tolist(), jj.tolist()):
+                out.append(
+                    calc_err_gain(
+                        hierarchy,
+                        hierarchy.node(level, i, j),
+                        z,
+                        reduction,
+                        increment=increment,
+                        use_speed=use_speed,
+                    )
+                )
+        return np.array(out, dtype=np.float64)
+
+    return kernel
+
+
+def _group_coords(coords, leaf_level: int):
+    """Group ``(level, i, j)`` coordinates into per-level index arrays.
+
+    Leaf coordinates are dropped — leaves always have gain 0 and bypass
+    the memo entirely.
+    """
+    import numpy as np
+
+    by_level: dict[int, tuple[list[int], list[int]]] = {}
+    for level, i, j in coords:
+        if level == leaf_level:
+            continue
+        ii, jj = by_level.setdefault(level, ([], []))
+        ii.append(i)
+        jj.append(j)
+    return [
+        (level, np.array(ii, dtype=np.intp), np.array(jj, dtype=np.intp))
+        for level, (ii, jj) in by_level.items()
+    ]
+
+
+def _memoized_score(
+    hierarchy: RegionHierarchy,
+    cache: IncrementalGridReduceCache,
+    kernel,
+    groups,
+) -> None:
+    """Resolve gains for coordinate groups through the value-validated memo.
+
+    Clean nodes (gathered key bit-equal to the stored one) read their
+    memoized gain; dirty or never-seen nodes re-solve through ``kernel``
+    in one batched call and refresh their memo rows.  Every resolved
+    gain lands in ``cache.round_gains`` for O(1) heap-loop lookups.
+    Stale entries can never survive a statistics change — the key *is*
+    the gain's full input — so no invalidation bookkeeping exists.
+    """
+    miss_groups = []
+    for level, ii, jj in groups:
+        if len(ii) == 0:
+            continue
+        keys = _gather_keys(hierarchy, level, ii, jj)
+        store = cache.level_store(level)
+        if store is None:
+            # Level too deep to memoize: everything misses.
+            miss_groups.append((level, ii, jj, keys, None))
+            continue
+        stored_keys, stored_gains, valid = store
+        hit = valid[ii, jj] & (keys == stored_keys[ii, jj]).all(axis=1)
+        cache.hits += int(hit.sum())
+        ii_hit, jj_hit = ii[hit], jj[hit]
+        for coord_i, coord_j, gain in zip(
+            ii_hit.tolist(), jj_hit.tolist(), stored_gains[ii_hit, jj_hit].tolist()
+        ):
+            cache.round_gains[(level, coord_i, coord_j)] = gain
+        miss = ~hit
+        if miss.any():
+            miss_groups.append((level, ii[miss], jj[miss], keys[miss], store))
+    if not miss_groups:
+        return
+    cache.misses += sum(len(ii) for _, ii, _, _, _ in miss_groups)
+    gains = kernel([(level, ii, jj) for level, ii, jj, _, _ in miss_groups])
+    offset = 0
+    for level, ii, jj, keys, store in miss_groups:
+        sl = slice(offset, offset + len(ii))
+        level_gains = gains[sl]
+        if store is not None:
+            stored_keys, stored_gains, valid = store
+            stored_keys[ii, jj] = keys
+            stored_gains[ii, jj] = level_gains
+            valid[ii, jj] = True
+        for coord_i, coord_j, gain in zip(
+            ii.tolist(), jj.tolist(), level_gains.tolist()
+        ):
+            cache.round_gains[(level, coord_i, coord_j)] = gain
+        offset += len(ii)
+
+
+def _memoized_gains(
+    hierarchy: RegionHierarchy,
+    cache: IncrementalGridReduceCache,
+    kernel,
+) -> "Callable[[list[RegionNode]], list[float]]":
+    """Node-batch gain scorer backed by the coordinate memo.
+
+    Leaves bypass everything (their gain is identically 0, matching
+    :func:`calc_err_gain`); other nodes read ``round_gains`` — filled by
+    the trajectory prepass — and only coordinates the prepass did not
+    anticipate fall through to a memo probe + kernel batch.
+    """
+
+    def gains_of(batch: list[RegionNode]) -> list[float]:
+        gains = [0.0] * len(batch)
+        missing: list[int] = []
+        for idx, node in enumerate(batch):
+            if hierarchy.is_leaf(node):
+                continue
+            gain = cache.round_gains.get((node.level, node.i, node.j))
+            if gain is not None:
+                gains[idx] = gain
+            else:
+                missing.append(idx)
+        if missing:
+            _memoized_score(
+                hierarchy,
+                cache,
+                kernel,
+                _group_coords(
+                    [
+                        (batch[idx].level, batch[idx].i, batch[idx].j)
+                        for idx in missing
+                    ],
+                    hierarchy.depth,
+                ),
+            )
+            for idx in missing:
+                node = batch[idx]
+                gains[idx] = cache.round_gains[(node.level, node.i, node.j)]
+        return gains
+
+    return gains_of
+
+
 def grid_reduce(
     hierarchy: RegionHierarchy,
     l: int,
@@ -147,6 +389,7 @@ def grid_reduce(
     increment: float | None = None,
     use_speed: bool = True,
     engine: str = "object",
+    cache: IncrementalGridReduceCache | None = None,
 ) -> PartitioningResult:
     """Compute the ``(α, l)``-partitioning of the space.
 
@@ -159,6 +402,16 @@ def grid_reduce(
     ``engine="vector"`` scores each expansion's children with the
     batched array kernel instead of per-node scalar greedy loops; the
     resulting partitioning is bit-identical.
+
+    ``cache`` (incremental mode) memoizes per-node gains across calls,
+    keyed on each node's exact aggregate statistics, and replays the
+    previous run's expansion trajectory by pre-scoring its whole heap
+    push sequence in one batch — so a round whose statistics drift only
+    touched a few hierarchy nodes re-solves GREEDYINCREMENT for those
+    nodes alone.  Results are bit-identical with and without a cache;
+    the caller must pass a cache dedicated to this (hierarchy,
+    reduction, increment, use_speed) combination (``z`` may vary — the
+    cache self-invalidates on change).
     """
     if isinstance(reduction, PiecewiseLinearReduction) and increment is None:
         increment = reduction.segment_size
@@ -171,14 +424,14 @@ def grid_reduce(
 
         pw = _as_piecewise(reduction, increment)
 
-        def gains_of(batch: list[RegionNode]) -> list[float]:
+        def base_gains_of(batch: list[RegionNode]) -> list[float]:
             return _calc_err_gain_batch(
                 hierarchy, batch, z, reduction, pw, use_speed
             )
 
     else:
 
-        def gains_of(batch: list[RegionNode]) -> list[float]:
+        def base_gains_of(batch: list[RegionNode]) -> list[float]:
             return [
                 calc_err_gain(
                     hierarchy, node, z, reduction,
@@ -187,10 +440,38 @@ def grid_reduce(
                 for node in batch
             ]
 
+    if cache is not None:
+        cache.reset_for_z(z)
+        cache.round_gains = {}
+        if engine == "vector":
+            kernel = _vector_coord_kernel(hierarchy, z, reduction, pw, use_speed)
+        else:
+            kernel = _object_coord_kernel(
+                hierarchy, z, reduction, increment, use_speed
+            )
+        gains_of = _memoized_gains(hierarchy, cache, kernel)
+        if cache.trajectory is not None:
+            # Expansion replay shortcut: score the previous run's whole
+            # push sequence up front, straight from coordinates.  Clean
+            # nodes hit the memo; dirty ones re-solve in one batched
+            # kernel call instead of one call per expansion.  If the pop
+            # sequence then deviates, the loop below still scores any
+            # new nodes on demand.
+            _memoized_score(
+                hierarchy,
+                cache,
+                kernel,
+                _group_coords(cache.trajectory.scored, hierarchy.depth),
+            )
+    else:
+        gains_of = base_gains_of
+
     counter = 0
     heap: list[tuple[float, int, RegionNode]] = []
+    scored: list[tuple[int, int, int]] = []
     root = hierarchy.root
     heapq.heappush(heap, (-gains_of([root])[0], counter, root))
+    scored.append((root.level, root.i, root.j))
     counter += 1
     finished: list[RegionNode] = []
     expansions = 0
@@ -203,11 +484,26 @@ def grid_reduce(
         children = list(hierarchy.children(node))
         for child, child_gain in zip(children, gains_of(children)):
             heapq.heappush(heap, (-child_gain, counter, child))
+            scored.append((child.level, child.i, child.j))
             counter += 1
         expansions += 1
 
     nodes = finished + [entry[2] for entry in heap]
+    # Canonical region order: the partitioning is a *set* of nodes; the
+    # heap's pop order is an implementation detail that permutes with
+    # infinitesimal gain changes.  Sorting by quad-tree coordinate makes
+    # plan region order a pure function of the partition, so two rounds
+    # choosing the same cut produce positionally identical plans — the
+    # property `SheddingPlan.same_geometry` (and thus the delta
+    # broadcast path) keys on.
+    nodes.sort(key=lambda n: (n.level, n.i, n.j))
     regions = [RegionStats(rect=n.rect, n=n.n, m=n.m, s=n.s) for n in nodes]
+    if cache is not None:
+        cache.trajectory = GridReduceTrajectory(
+            scored=scored,
+            result=[(n.level, n.i, n.j) for n in nodes],
+            expansions=expansions,
+        )
     return PartitioningResult(regions=regions, nodes=nodes, expansions=expansions)
 
 

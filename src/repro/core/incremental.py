@@ -1,0 +1,182 @@
+"""Cross-round state for the incremental adapt pipeline.
+
+LIRA's pitch is *lightweight* adaptivity: steady-state adaptation cost
+should track the drift in the statistics, not the domain size.  This
+module holds the state that survives between adaptation rounds and
+makes that possible while keeping the results bit-identical to the
+from-scratch path:
+
+* :class:`IncrementalGridReduceCache` — per-node CALCERRGAIN gains
+  memoized by quad-tree coordinate and *validated by value* against the
+  node's current aggregate statistics (the gain is a pure function of
+  the node's ``(n, m, s)``, its four children's statistics, ``z`` and
+  the static reduction inputs, so an exact float match guarantees the
+  memoized gain is the one a fresh solve would produce).  The cache
+  also records the previous run's *trajectory* — the heap push sequence
+  and the final partitioning — so the next run can score the whole
+  expected node set in one batched kernel call (the expansion replay
+  shortcut) instead of one call per expansion.
+
+* :class:`IncrementalAdaptSession` — the load shedder's between-round
+  state: the persistent :class:`~repro.core.quadtree.RegionHierarchy`
+  (sparsely refreshed from the grid's dirty cells), copies of the last
+  grid statistics used for exact change detection, a single-entry
+  GREEDYINCREMENT memo, and the last plan for identity reuse + plan
+  epoch stamping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.greedy import GreedyResult
+    from repro.core.plan import SheddingPlan
+    from repro.core.quadtree import RegionHierarchy
+
+# A node's coordinate in the quad-tree: (level, i, j).
+NodeCoord = tuple[int, int, int]
+
+# Number of floats in a node's gain key: its own (n, m, s) plus the
+# same triple for each of its four children.
+KEY_WIDTH = 15
+
+# Deepest level granted array-backed memo storage, by side cell count.
+# A level with side S holds S² nodes; 256² keys at KEY_WIDTH floats is
+# ~7.9 MB.  Deeper levels (α ≥ 512 only) are simply not memoized —
+# their gains recompute every round, which dirty tracking already makes
+# rare — keeping cache memory bounded regardless of α.
+_MAX_MEMO_SIDE = 256
+
+
+@dataclass
+class GridReduceTrajectory:
+    """The observable history of one GRIDREDUCE run.
+
+    ``scored`` is every node pushed onto the expansion heap, in push
+    order (the set whose gains determine the whole pop sequence);
+    ``result`` is the final partitioning's node coordinates in output
+    order; ``expansions`` the number of quadrant splits performed.
+    """
+
+    scored: list[NodeCoord]
+    result: list[NodeCoord]
+    expansions: int
+
+
+class IncrementalGridReduceCache:
+    """Gain memo + trajectory cache consumed by ``grid_reduce``.
+
+    Gains are memoized per quad-tree level in dense arrays — for each
+    node a ``KEY_WIDTH``-float *key* (the exact aggregate statistics the
+    gain was computed from) alongside the gain itself.  A lookup is a
+    hit only when the freshly gathered key compares equal element for
+    element — dirty nodes therefore miss by construction and clean nodes
+    hit without any separate invalidation bookkeeping.  ``z`` changes
+    clear everything (gains are z-dependent); the reduction inputs are
+    fixed per shedder and are not part of the key.
+
+    ``round_gains`` holds the gains already validated *this run* (the
+    warm prepass fills it from the previous trajectory), letting the
+    expansion heap loop read plain dict entries instead of re-gathering
+    keys per pop.
+    """
+
+    def __init__(self) -> None:
+        self.z: float | None = None
+        #: level -> (keys (S,S,KEY_WIDTH), gains (S,S), valid (S,S)).
+        self.levels: dict[
+            int, tuple[np.ndarray, np.ndarray, np.ndarray]
+        ] = {}
+        self.trajectory: GridReduceTrajectory | None = None
+        #: Gains validated during the current grid_reduce call.
+        self.round_gains: dict[NodeCoord, float] = {}
+        # Diagnostics (not part of any contract): memo hit/miss counts
+        # accumulated across rounds, readable by benches.
+        self.hits = 0
+        self.misses = 0
+
+    def level_store(
+        self, level: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """The (keys, gains, valid) arrays of one level, or ``None``.
+
+        ``None`` means the level is too deep to memoize (memory bound);
+        callers treat every node there as a miss.
+        """
+        store = self.levels.get(level)
+        if store is not None:
+            return store
+        side = 1 << level
+        if side > _MAX_MEMO_SIDE:
+            return None
+        store = (
+            np.zeros((side, side, KEY_WIDTH), dtype=np.float64),
+            np.zeros((side, side), dtype=np.float64),
+            np.zeros((side, side), dtype=bool),
+        )
+        self.levels[level] = store
+        return store
+
+    def reset_for_z(self, z: float) -> None:
+        """Invalidate everything if the throttle fraction changed."""
+        if self.z is not None and self.z == z:
+            return
+        self.z = z
+        for _, _, valid in self.levels.values():
+            valid[:] = False
+        self.trajectory = None
+
+
+@dataclass
+class IncrementalAdaptSession:
+    """Between-round state owned by an incremental ``LiraLoadShedder``."""
+
+    hierarchy: "RegionHierarchy | None" = None
+    prev_n: np.ndarray | None = None
+    prev_m: np.ndarray | None = None
+    prev_s: np.ndarray | None = None
+    gridreduce: IncrementalGridReduceCache = field(
+        default_factory=IncrementalGridReduceCache
+    )
+    # Single-entry GREEDYINCREMENT memo: the final throttler solve is
+    # a pure function of (z, region statistics), which repeat exactly
+    # whenever the drift did not touch the partitioning.
+    greedy_key: tuple | None = None
+    greedy_result: "GreedyResult | None" = None
+    # Last emitted plan (for identity reuse and epoch stamping) plus
+    # the (regions, thresholds) content it was built from.
+    plan: "SheddingPlan | None" = None
+    plan_key: tuple | None = None
+    epoch: int = 0
+    # Diagnostics: how the last round resolved its plan.
+    last_plan_reused: bool = False
+    last_geometry_reused: bool = False
+
+    def dirty_mask(self, grid) -> np.ndarray | None:
+        """Exact changed-cell mask of ``grid`` vs the previous round.
+
+        Returns ``None`` when there is no previous round (or the grid
+        shape changed), meaning "treat everything as dirty".
+        """
+        if (
+            self.prev_n is None
+            or self.prev_n.shape != grid.n.shape
+            or self.hierarchy is None
+            or self.hierarchy.bounds != grid.bounds
+        ):
+            return None
+        return (
+            (grid.n != self.prev_n)
+            | (grid.m != self.prev_m)
+            | (grid.s != self.prev_s)
+        )
+
+    def checkpoint(self, grid) -> None:
+        """Remember the grid statistics the next round will diff against."""
+        self.prev_n = grid.n.copy()
+        self.prev_m = grid.m.copy()
+        self.prev_s = grid.s.copy()

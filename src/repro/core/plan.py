@@ -51,6 +51,77 @@ class SheddingRegion:
     s: float
 
 
+class PlanEpochMismatch(ValueError):
+    """A delta's base epoch does not match the plan it is applied to.
+
+    Receivers catch this to request a full-plan resync instead of
+    silently applying a delta against the wrong baseline.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class PlanDelta:
+    """The per-region difference between two same-geometry plans.
+
+    Region rectangles are unchanged by construction (geometry changes
+    cannot be expressed as a delta — :meth:`SheddingPlan.diff` returns
+    ``None`` and senders fall back to a full-plan push).  ``changes``
+    lists ``(region_index, delta, n, m, s)`` for every region whose
+    update throttler changed — the part mobile nodes must learn, and
+    the part broadcast airtime is charged for.  ``stat_changes`` lists
+    ``(region_index, n, m, s)`` for regions whose statistics drifted
+    while the throttler stayed put: server-side bookkeeping that rides
+    along so :meth:`SheddingPlan.apply_delta` reconstructs the target
+    plan exactly, but costs no wireless payload.  ``base_epoch`` is the
+    epoch the delta applies on top of; ``epoch`` the epoch of the
+    resulting plan.
+    """
+
+    base_epoch: int
+    epoch: int
+    num_regions: int
+    changes: tuple[tuple[int, float, float, float, float], ...]
+    stat_changes: tuple[tuple[int, float, float, float], ...] = ()
+
+    @property
+    def num_changes(self) -> int:
+        """Regions whose throttler changed (the airtime-relevant count)."""
+        return len(self.changes)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable description of the delta."""
+        return {
+            "format": "repro.plan-delta",
+            "version": 1,
+            "base_epoch": self.base_epoch,
+            "epoch": self.epoch,
+            "num_regions": self.num_regions,
+            "changes": [list(change) for change in self.changes],
+            "stat_changes": [list(change) for change in self.stat_changes],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "PlanDelta":
+        """Rebuild a delta written by :meth:`to_dict`."""
+        if doc.get("format") != "repro.plan-delta":
+            raise ValueError("not a repro plan-delta document")
+        if doc.get("version") != 1:
+            raise ValueError(f"unsupported delta version {doc.get('version')!r}")
+        return cls(
+            base_epoch=int(doc["base_epoch"]),
+            epoch=int(doc["epoch"]),
+            num_regions=int(doc["num_regions"]),
+            changes=tuple(
+                (int(i), float(d), float(n), float(m), float(s))
+                for i, d, n, m, s in doc["changes"]
+            ),
+            stat_changes=tuple(
+                (int(i), float(n), float(m), float(s))
+                for i, n, m, s in doc.get("stat_changes", [])
+            ),
+        )
+
+
 class SheddingPlan:
     """A complete load-shedding configuration for the monitoring space.
 
@@ -62,13 +133,19 @@ class SheddingPlan:
     """
 
     def __init__(
-        self, bounds: Rect, regions: list[SheddingRegion], id_grid: np.ndarray
+        self,
+        bounds: Rect,
+        regions: list[SheddingRegion],
+        id_grid: np.ndarray,
+        epoch: int = 0,
     ) -> None:
         self.bounds = bounds
         self.regions = regions
+        self.epoch = epoch
         self._id_grid = id_grid
         self._resolution = id_grid.shape[0]
         self._deltas = np.array([r.delta for r in regions], dtype=np.float64)
+        self._rect_arrays: tuple[np.ndarray, ...] | None = None
 
     @classmethod
     def from_regions(
@@ -77,6 +154,7 @@ class SheddingPlan:
         regions: list[RegionStats],
         thresholds: np.ndarray,
         resolution: int,
+        epoch: int = 0,
     ) -> "SheddingPlan":
         """Build a plan from partitioning output + greedy thresholds."""
         if len(regions) != len(thresholds):
@@ -90,7 +168,39 @@ class SheddingPlan:
             for reg, d in zip(regions, thresholds)
         ]
         id_grid = cls._rasterize(bounds, shed_regions, resolution)
-        return cls(bounds=bounds, regions=shed_regions, id_grid=id_grid)
+        return cls(bounds=bounds, regions=shed_regions, id_grid=id_grid, epoch=epoch)
+
+    def with_content(
+        self,
+        regions: list[RegionStats],
+        thresholds: np.ndarray,
+        epoch: int,
+    ) -> "SheddingPlan":
+        """A same-geometry plan with new thresholds/statistics.
+
+        Shares this plan's rasterized id grid instead of re-rasterizing
+        — valid only when ``regions`` carry exactly this plan's
+        rectangles in order (checked).  Produces the same plan
+        :meth:`from_regions` would, in O(regions) time.
+        """
+        if len(regions) != len(self.regions) or any(
+            reg.rect != old.rect for reg, old in zip(regions, self.regions)
+        ):
+            raise ValueError("with_content requires identical region geometry")
+        if len(regions) != len(thresholds):
+            raise ValueError("one threshold per region is required")
+        shed_regions = [
+            SheddingRegion(
+                rect=reg.rect, delta=float(d), n=reg.n, m=reg.m, s=reg.s
+            )
+            for reg, d in zip(regions, thresholds)
+        ]
+        return SheddingPlan(
+            bounds=self.bounds,
+            regions=shed_regions,
+            id_grid=self._id_grid,
+            epoch=epoch,
+        )
 
     @staticmethod
     def _rasterize(
@@ -131,6 +241,22 @@ class SheddingPlan:
         """Per-region Δᵢ, in region order (copy)."""
         return self._deltas.copy()
 
+    def rect_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Region rectangles as ``(x1, y1, x2, y2)`` arrays (cached).
+
+        Vectorized geometry consumers (base-station coverage) read the
+        region layout from these instead of walking ``regions``.  Built
+        lazily once per plan; treat the arrays as read-only.
+        """
+        if self._rect_arrays is None:
+            self._rect_arrays = (
+                np.array([r.rect.x1 for r in self.regions], dtype=np.float64),
+                np.array([r.rect.y1 for r in self.regions], dtype=np.float64),
+                np.array([r.rect.x2 for r in self.regions], dtype=np.float64),
+                np.array([r.rect.y2 for r in self.regions], dtype=np.float64),
+            )
+        return self._rect_arrays
+
     def region_ids_for(self, positions: np.ndarray) -> np.ndarray:
         """Region index for each position (n, 2); out-of-bounds clamps."""
         positions = np.asarray(positions, dtype=np.float64)
@@ -170,6 +296,90 @@ class SheddingPlan:
         return float(sum(r.m * r.delta for r in self.regions))
 
     # ------------------------------------------------------------------
+    # Deltas
+    # ------------------------------------------------------------------
+
+    def same_geometry(self, other: "SheddingPlan") -> bool:
+        """True when both plans tile the space with identical rectangles.
+
+        Same-geometry plans share a rasterization, so a per-region delta
+        can carry one into the other without touching the id grid.
+        """
+        return (
+            self.bounds == other.bounds
+            and self._resolution == other._resolution
+            and len(self.regions) == len(other.regions)
+            and all(
+                a.rect == b.rect for a, b in zip(self.regions, other.regions)
+            )
+        )
+
+    def diff(self, new: "SheddingPlan") -> PlanDelta | None:
+        """The delta carrying this plan to ``new``, or ``None``.
+
+        ``None`` means the geometry changed and receivers need the full
+        plan.  A delta with empty ``changes`` and ``stat_changes`` means
+        the content is identical (only the epoch stamp moves).  Regions
+        whose throttler moved land in ``changes``; regions whose
+        statistics drifted under a steady throttler land in
+        ``stat_changes`` and cost no broadcast airtime.
+        """
+        if not self.same_geometry(new):
+            return None
+        changes: list[tuple[int, float, float, float, float]] = []
+        stat_changes: list[tuple[int, float, float, float]] = []
+        for index, (a, b) in enumerate(zip(self.regions, new.regions)):
+            if a.delta != b.delta:
+                changes.append((index, b.delta, b.n, b.m, b.s))
+            elif (a.n, a.m, a.s) != (b.n, b.m, b.s):
+                stat_changes.append((index, b.n, b.m, b.s))
+        return PlanDelta(
+            base_epoch=self.epoch,
+            epoch=new.epoch,
+            num_regions=len(new.regions),
+            changes=tuple(changes),
+            stat_changes=tuple(stat_changes),
+        )
+
+    def apply_delta(self, delta: PlanDelta) -> "SheddingPlan":
+        """The plan that ``delta`` carries this plan to.
+
+        Raises :class:`PlanEpochMismatch` when the delta was not built
+        against this plan's epoch — the receiver must resync with a full
+        plan.  The rasterized id grid is shared with this plan (regions
+        keep their rectangles), making application O(changes).
+        """
+        if delta.base_epoch != self.epoch:
+            raise PlanEpochMismatch(
+                f"delta applies to epoch {delta.base_epoch}, plan is at "
+                f"epoch {self.epoch}"
+            )
+        if delta.num_regions != len(self.regions):
+            raise PlanEpochMismatch(
+                f"delta describes {delta.num_regions} regions, plan has "
+                f"{len(self.regions)}"
+            )
+        regions = list(self.regions)
+        for index, d, n, m, s in delta.changes:
+            if not (0 <= index < len(regions)):
+                raise ValueError(f"delta region index {index} out of range")
+            regions[index] = SheddingRegion(
+                rect=regions[index].rect, delta=d, n=n, m=m, s=s
+            )
+        for index, n, m, s in delta.stat_changes:
+            if not (0 <= index < len(regions)):
+                raise ValueError(f"delta region index {index} out of range")
+            regions[index] = SheddingRegion(
+                rect=regions[index].rect, delta=regions[index].delta, n=n, m=m, s=s
+            )
+        return SheddingPlan(
+            bounds=self.bounds,
+            regions=regions,
+            id_grid=self._id_grid,
+            epoch=delta.epoch,
+        )
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
 
@@ -178,6 +388,7 @@ class SheddingPlan:
         return {
             "format": "repro.plan",
             "version": 1,
+            "epoch": self.epoch,
             "bounds": [self.bounds.x1, self.bounds.y1, self.bounds.x2, self.bounds.y2],
             "resolution": self._resolution,
             "regions": [
@@ -210,7 +421,13 @@ class SheddingPlan:
             for record in doc["regions"]
         ]
         thresholds = np.array([record["delta"] for record in doc["regions"]])
-        return cls.from_regions(bounds, regions, thresholds, doc["resolution"])
+        return cls.from_regions(
+            bounds,
+            regions,
+            thresholds,
+            doc["resolution"],
+            epoch=int(doc.get("epoch", 0)),
+        )
 
     def save(self, path: str | Path) -> None:
         """Write the plan to a JSON file."""

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 
 from repro.core.config import LiraConfig
 from repro.core.gridreduce import grid_reduce
-from repro.core.greedy import greedy_increment
+from repro.core.greedy import GreedyResult, greedy_increment
+from repro.core.incremental import IncrementalAdaptSession
 from repro.core.plan import SheddingPlan
 from repro.core.quadtree import RegionHierarchy
 from repro.core.reduction import ReductionFunction
@@ -50,6 +51,13 @@ class LiraLoadShedder:
         queue_capacity: B for the embedded THROTLOOP controller.
         engine: ``"object"`` runs the scalar reference kernels,
             ``"vector"`` the bit-identical array kernels.
+        incremental: keep cross-round state (hierarchy refresh, gain
+            memo, trajectory replay, greedy/plan reuse) so adaptation
+            cost tracks the statistics drift instead of the domain
+            size.  Plans are bit-identical to the from-scratch path;
+            additionally, a round whose inputs did not change returns
+            the *same plan object* and an unchanged epoch, letting
+            downstream broadcast layers skip or delta-encode the push.
     """
 
     def __init__(
@@ -58,6 +66,7 @@ class LiraLoadShedder:
         reduction: ReductionFunction,
         queue_capacity: int = 100,
         engine: str = "object",
+        incremental: bool = False,
     ) -> None:
         if not (
             reduction.delta_min == config.delta_min
@@ -75,6 +84,17 @@ class LiraLoadShedder:
         self.throtloop = ThrotLoop(queue_capacity=queue_capacity, z=1.0)
         self._fixed_z: float | None = config.z
         self.last_report: AdaptationReport | None = None
+        self._session = IncrementalAdaptSession() if incremental else None
+
+    @property
+    def incremental(self) -> bool:
+        """Whether this shedder keeps cross-round incremental state."""
+        return self._session is not None
+
+    @property
+    def session(self) -> IncrementalAdaptSession | None:
+        """The incremental session state (diagnostics), if enabled."""
+        return self._session
 
     def use_adaptive_throttle(self) -> None:
         """Let THROTLOOP drive z instead of the configured constant."""
@@ -109,31 +129,7 @@ class LiraLoadShedder:
             )
         z = self.current_z
         with Stopwatch() as stopwatch:
-            hierarchy = RegionHierarchy(grid)
-            partitioning = grid_reduce(
-                hierarchy,
-                self.config.l,
-                z,
-                self.reduction,
-                increment=self.config.increment,
-                use_speed=self.config.use_speed,
-                engine=self.engine,
-            )
-            result = greedy_increment(
-                partitioning.regions,
-                self.reduction,
-                z,
-                increment=self.config.increment,
-                fairness=self.config.fairness,
-                use_speed=self.config.use_speed,
-                engine=self.engine,
-            )
-            plan = SheddingPlan.from_regions(
-                bounds=grid.bounds,
-                regions=partitioning.regions,
-                thresholds=result.thresholds,
-                resolution=grid.alpha,
-            )
+            plan, result = self._compute_plan(grid, z)
         elapsed = stopwatch.elapsed
         logger.debug(
             "adaptation: z=%.3f regions=%d budget_met=%s inaccuracy=%.2f "
@@ -159,3 +155,113 @@ class LiraLoadShedder:
             elapsed_seconds=elapsed,
         )
         return plan
+
+    def _compute_plan(
+        self, grid: StatisticsGrid, z: float
+    ) -> tuple[SheddingPlan, GreedyResult]:
+        """One partition + throttle solve; routes to the session if set."""
+        if self._session is not None:
+            return self._compute_plan_incremental(grid, z)
+        hierarchy = RegionHierarchy(grid)
+        partitioning = grid_reduce(
+            hierarchy,
+            self.config.l,
+            z,
+            self.reduction,
+            increment=self.config.increment,
+            use_speed=self.config.use_speed,
+            engine=self.engine,
+        )
+        result = greedy_increment(
+            partitioning.regions,
+            self.reduction,
+            z,
+            increment=self.config.increment,
+            fairness=self.config.fairness,
+            use_speed=self.config.use_speed,
+            engine=self.engine,
+        )
+        plan = SheddingPlan.from_regions(
+            bounds=grid.bounds,
+            regions=partitioning.regions,
+            thresholds=result.thresholds,
+            resolution=grid.alpha,
+        )
+        return plan, result
+
+    def _compute_plan_incremental(
+        self, grid: StatisticsGrid, z: float
+    ) -> tuple[SheddingPlan, GreedyResult]:
+        """The incremental adapt round — bit-identical to from-scratch.
+
+        Stages, each skipping work the drift did not invalidate:
+
+        1. sparse hierarchy refresh over the exact changed-cell mask;
+        2. GRIDREDUCE with the gain memo + trajectory replay cache;
+        3. GREEDYINCREMENT via a single-entry memo keyed on the exact
+           region statistics (a pure function of its inputs);
+        4. plan construction: same content → the *same plan object*
+           (epoch unchanged); same geometry → raster reuse with a new
+           epoch; otherwise a full rebuild with a new epoch.
+        """
+        session = self._session
+        assert session is not None
+        dirty = session.dirty_mask(grid)
+        if dirty is None:
+            session.hierarchy = RegionHierarchy(grid)
+        else:
+            assert session.hierarchy is not None
+            session.hierarchy.refresh(grid, dirty)
+        session.checkpoint(grid)
+        partitioning = grid_reduce(
+            session.hierarchy,
+            self.config.l,
+            z,
+            self.reduction,
+            increment=self.config.increment,
+            use_speed=self.config.use_speed,
+            engine=self.engine,
+            cache=session.gridreduce,
+        )
+        regions = partitioning.regions
+        greedy_key = (z, tuple(regions))
+        if session.greedy_result is not None and session.greedy_key == greedy_key:
+            result = session.greedy_result
+        else:
+            result = greedy_increment(
+                regions,
+                self.reduction,
+                z,
+                increment=self.config.increment,
+                fairness=self.config.fairness,
+                use_speed=self.config.use_speed,
+                engine=self.engine,
+            )
+            session.greedy_key = greedy_key
+            session.greedy_result = result
+        plan_key = (tuple(regions), tuple(float(d) for d in result.thresholds))
+        session.last_plan_reused = False
+        session.last_geometry_reused = False
+        previous = session.plan
+        if previous is not None and session.plan_key == plan_key:
+            session.last_plan_reused = True
+            return previous, result
+        if previous is not None and len(previous.regions) == len(regions) and all(
+            reg.rect == old.rect for reg, old in zip(regions, previous.regions)
+        ):
+            session.epoch += 1
+            plan = previous.with_content(regions, result.thresholds, session.epoch)
+            session.last_geometry_reused = True
+        else:
+            if previous is not None:
+                session.epoch += 1
+            plan = SheddingPlan.from_regions(
+                bounds=grid.bounds,
+                regions=regions,
+                thresholds=result.thresholds,
+                resolution=grid.alpha,
+                epoch=session.epoch,
+            )
+        session.plan = plan
+        session.plan_key = plan_key
+        return plan, result

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import timing
-from repro.core.plan import SheddingPlan
+from repro.core.plan import PlanDelta, PlanEpochMismatch, SheddingPlan
 from repro.metrics.slo import LatencySummary, SLOReport, SLOSpec
 from repro.motion import DeadReckoningFleet
 from repro.loadtest.schedule import OpenLoopSchedule
@@ -62,6 +62,8 @@ class LoadtestReport:
     acks_received: int = 0
     acks_missing: int = 0
     plans_received: int = 0
+    plan_deltas_applied: int = 0
+    plan_delta_mismatches: int = 0
     warmup_s: float = 0.0
     samples_excluded_warmup: int = 0
     server_stats: dict = field(default_factory=dict)
@@ -81,6 +83,8 @@ class LoadtestReport:
             "acks_received": self.acks_received,
             "acks_missing": self.acks_missing,
             "plans_received": self.plans_received,
+            "plan_deltas_applied": self.plan_deltas_applied,
+            "plan_delta_mismatches": self.plan_delta_mismatches,
             "warmup_s": self.warmup_s,
             "samples_excluded_warmup": self.samples_excluded_warmup,
             "ingest_latency": self.ingest.to_dict() if self.ingest else None,
@@ -103,6 +107,8 @@ class _Receiver:
         self.reports_admitted = 0
         self.reports_dropped = 0
         self.plans_received = 0
+        self.plan_deltas_applied = 0
+        self.plan_delta_mismatches = 0
         self.acks_received = 0
         self.stats_meta: dict | None = None
         self.stats_event = asyncio.Event()
@@ -130,6 +136,24 @@ class _Receiver:
                 self.plan_latencies.append(self.clock() - float(generated))
             if "plan" in meta:
                 self.plan = SheddingPlan.from_dict(meta["plan"])
+            return
+        if kind == "plan-delta":
+            self.plans_received += 1
+            generated = meta.get("generated_t")
+            if generated is not None:
+                self.plan_latencies.append(self.clock() - float(generated))
+            if self.plan is None or "delta" not in meta:
+                # No base plan to patch — keep shedding at the default
+                # until the server resyncs us with a full push.
+                self.plan_delta_mismatches += 1
+                return
+            try:
+                self.plan = self.plan.apply_delta(PlanDelta.from_dict(meta["delta"]))
+                self.plan_deltas_applied += 1
+            except PlanEpochMismatch:
+                # Stale base: keep the old plan (its thresholds are the
+                # best belief available) and await a full resync.
+                self.plan_delta_mismatches += 1
             return
         if kind == "stats-reply":
             self.stats_meta = meta
@@ -256,6 +280,8 @@ async def run_loadtest(
         acks_received=state.acks_received,
         acks_missing=len(state.in_flight),
         plans_received=state.plans_received,
+        plan_deltas_applied=state.plan_deltas_applied,
+        plan_delta_mismatches=state.plan_delta_mismatches,
         warmup_s=warmup_s,
         samples_excluded_warmup=excluded,
         server_stats=state.stats_meta or {},

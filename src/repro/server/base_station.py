@@ -40,15 +40,30 @@ class BaseStation:
 
     def regions_in_coverage(self, plan: SheddingPlan) -> list[int]:
         """Indices of plan regions intersecting this station's coverage."""
-        return [
-            i
-            for i, region in enumerate(plan.regions)
-            if region.rect.intersects_circle(self.center, self.radius)
-        ]
+        return np.flatnonzero(coverage_mask([self], plan)[0]).tolist()
 
     def broadcast_payload_bytes(self, plan: SheddingPlan) -> int:
         """Size of the broadcast installing this station's region subset."""
         return len(self.regions_in_coverage(plan)) * BYTES_PER_REGION
+
+
+def coverage_mask(stations: list[BaseStation], plan: SheddingPlan) -> np.ndarray:
+    """Boolean (stations × regions) coverage-intersection matrix.
+
+    Entry ``[s, r]`` is True iff region ``r`` intersects station ``s``'s
+    coverage disk — the vectorized form of
+    ``Rect.intersects_circle(center, radius)``: the disk center is
+    clamped into each rectangle (``min(max(c, lo), hi)`` per axis,
+    exactly the scalar path's arithmetic) and the clamped distance
+    compared against the radius.
+    """
+    x1, y1, x2, y2 = plan.rect_arrays()
+    cx = np.array([s.center.x for s in stations], dtype=np.float64)[:, None]
+    cy = np.array([s.center.y for s in stations], dtype=np.float64)[:, None]
+    radius = np.array([s.radius for s in stations], dtype=np.float64)[:, None]
+    dx = np.minimum(np.maximum(cx, x1[None, :]), x2[None, :]) - cx
+    dy = np.minimum(np.maximum(cy, y1[None, :]), y2[None, :]) - cy
+    return np.hypot(dx, dy) <= radius
 
 
 def place_uniform_stations(bounds: Rect, radius: float) -> list[BaseStation]:
@@ -131,9 +146,7 @@ def mean_regions_per_station(
     """
     if not stations:
         raise ValueError("at least one station is required")
-    return float(
-        np.mean([len(s.regions_in_coverage(plan)) for s in stations])
-    )
+    return float(np.mean(coverage_mask(stations, plan).sum(axis=1)))
 
 
 def mean_broadcast_bytes(stations: list[BaseStation], plan: SheddingPlan) -> float:

@@ -239,18 +239,57 @@ class _ThresholdRaster:
     """
 
     def __init__(self, regions: tuple[SheddingRegion, ...]) -> None:
+        self._regions = regions
         xs = sorted({e for r in regions for e in (r.rect.x1, r.rect.x2)})
         ys = sorted({e for r in regions for e in (r.rect.y1, r.rect.y2)})
         self._xs = np.array(xs, dtype=np.float64)
         self._ys = np.array(ys, dtype=np.float64)
-        grid = np.full((len(xs) - 1, len(ys) - 1), np.nan, dtype=np.float64)
-        for region in reversed(regions):
-            i1 = int(np.searchsorted(self._xs, region.rect.x1))
-            i2 = int(np.searchsorted(self._xs, region.rect.x2))
-            j1 = int(np.searchsorted(self._ys, region.rect.y1))
-            j2 = int(np.searchsorted(self._ys, region.rect.y2))
-            grid[i1:i2, j1:j2] = region.delta
+        # Owner grid: index (into the subset tuple) of the region each
+        # raster cell belongs to, -1 outside every region.  Painted in
+        # reverse order so the lowest region index wins; the threshold
+        # grid then derives from it, which is what lets ``repaint``
+        # update only the cells a changed region owns.
+        owner = np.full((len(xs) - 1, len(ys) - 1), -1, dtype=np.int64)
+        for index in range(len(regions) - 1, -1, -1):
+            i1, i2, j1, j2 = self._cell_span(regions[index].rect)
+            owner[i1:i2, j1:j2] = index
+        self._owner = owner
+        grid = np.full(owner.shape, np.nan, dtype=np.float64)
+        inside = owner >= 0
+        deltas = np.array([r.delta for r in regions], dtype=np.float64)
+        grid[inside] = deltas[owner[inside]]
         self._grid = grid
+
+    def _cell_span(self, rect) -> tuple[int, int, int, int]:
+        return (
+            int(np.searchsorted(self._xs, rect.x1)),
+            int(np.searchsorted(self._xs, rect.x2)),
+            int(np.searchsorted(self._ys, rect.y1)),
+            int(np.searchsorted(self._ys, rect.y2)),
+        )
+
+    def repaint(self, regions: tuple[SheddingRegion, ...]) -> bool:
+        """Update in place for a same-geometry subset; False otherwise.
+
+        When ``regions`` carries exactly the rectangles this raster was
+        built from (the delta-install steady state), only the cells
+        owned by regions whose Δ changed are rewritten — the raster
+        lines, owner grid, and unchanged cells stay put, and the result
+        is bit-identical to a from-scratch rasterization.
+        """
+        old = self._regions
+        if len(regions) != len(old) or any(
+            new.rect != prev.rect for new, prev in zip(regions, old)
+        ):
+            return False
+        for index, (new, prev) in enumerate(zip(regions, old)):
+            if new.delta == prev.delta:
+                continue
+            i1, i2, j1, j2 = self._cell_span(new.rect)
+            block = self._grid[i1:i2, j1:j2]
+            block[self._owner[i1:i2, j1:j2] == index] = new.delta
+        self._regions = regions
+        return True
 
     def thresholds_at(
         self, x: np.ndarray, y: np.ndarray, default: float
@@ -389,6 +428,16 @@ class VectorNodeEngine:
         regions = subset.regions
         cached = self._rasters.get(slot)
         if cached is not None and cached[0] == id(regions):
+            return cached[2]
+        if (
+            cached is not None
+            and cached[2] is not None
+            and regions
+            and cached[2].repaint(regions)
+        ):
+            # Same geometry, new thresholds (delta install): the cached
+            # raster updated only the changed regions' cells in place.
+            self._rasters[slot] = (id(regions), regions, cached[2])
             return cached[2]
         raster = _ThresholdRaster(regions) if regions else None
         # Hold a reference to the tuple so its id stays valid.

@@ -21,8 +21,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geo import Point, Rect
-from repro.core.plan import SheddingPlan, SheddingRegion
-from repro.server.base_station import BYTES_PER_REGION, BaseStation
+from repro.core.plan import PlanDelta, SheddingPlan, SheddingRegion
+from repro.server.base_station import BYTES_PER_REGION, BaseStation, coverage_mask
 
 #: Side cell count of the node-side lookup index ("a tiny 5x5 grid
 #: index on the mobile node side", Section 4.3.2).
@@ -109,15 +109,26 @@ class BaseStationNetwork:
         self._pending: dict[int, tuple[float, RegionSubset]] = {}
         #: Time each plan version was generated (staleness accounting).
         self._version_times: dict[int, float] = {}
-        #: Coverage cache: re-installing the *same* plan object reuses
-        #: the per-station region-member tuples instead of re-running
-        #: the O(stations x regions) coverage intersection.  Keyed by
+        #: Coverage cache: re-installing the *same* plan object — or any
+        #: plan with identical region geometry — reuses the per-station
+        #: region index arrays instead of re-running the
+        #: O(stations x regions) coverage intersection.  Keyed by
         #: identity; the strong reference keeps the id stable.
         self._coverage_plan: SheddingPlan | None = None
+        self._coverage_indices: list[np.ndarray] = []
         self._coverage_members: list[tuple[SheddingRegion, ...]] = []
+        #: The latest plan version whose *content* each station serves.
+        #: Differs from its subset's version after a delta install that
+        #: skipped the station (content already current, no airtime).
+        self._station_versions: dict[int, int] = {}
+        #: Epoch of the last installed plan; guards delta installs.
+        self._installed_epoch: int | None = None
 
     def install_plan(
-        self, plan: SheddingPlan, t: float = 0.0
+        self,
+        plan: SheddingPlan,
+        t: float = 0.0,
+        delta: PlanDelta | None = None,
     ) -> dict[int, RegionSubset]:
         """Compute and broadcast every station's region subset.
 
@@ -125,16 +136,29 @@ class BaseStationNetwork:
         and accumulates the wireless messaging cost.  Broadcast bytes
         count every transmission attempt — a lost broadcast still spent
         the airtime.
+
+        ``delta`` (optional) is ``previous_plan.diff(plan)`` for the
+        plan currently installed.  When it is usable — epochs line up
+        and the downlink is fault-free — only stations whose coverage
+        intersects a changed region are re-broadcast, and each pays
+        airtime for its changed regions alone; untouched stations stay
+        current without a transmission.  An unusable delta silently
+        falls back to the full push, so callers may always offer one.
         """
+        self._refresh_coverage(plan)
         self.version += 1
         self._version_times[self.version] = t
+        if (
+            delta is not None
+            and self.downlink is None
+            and self._installed_epoch is not None
+            and delta.base_epoch == self._installed_epoch
+            and delta.epoch == plan.epoch
+            and delta.num_regions == len(plan.regions)
+        ):
+            return self._install_delta(plan, delta)
+        self._installed_epoch = plan.epoch
         delivered: dict[int, RegionSubset] = {}
-        if self._coverage_plan is not plan:
-            self._coverage_members = [
-                tuple(plan.regions[i] for i in station.regions_in_coverage(plan))
-                for station in self.stations
-            ]
-            self._coverage_plan = plan
         for station, members in zip(self.stations, self._coverage_members):
             subset = RegionSubset(
                 station_id=station.station_id,
@@ -154,7 +178,61 @@ class BaseStationNetwork:
                     continue
             self._subsets[station.station_id] = subset
             self._pending.pop(station.station_id, None)
+            self._station_versions[station.station_id] = self.version
             delivered[station.station_id] = subset
+        return delivered
+
+    def _refresh_coverage(self, plan: SheddingPlan) -> None:
+        """(Re)compute the per-station coverage cache for ``plan``.
+
+        Same plan object: no work.  Same geometry (delta/raster-reuse
+        plans): keep the index arrays, rebuild the member tuples in
+        O(Σ|subset|).  Otherwise one vectorized stations × regions
+        intersection pass.
+        """
+        if self._coverage_plan is plan:
+            return
+        if self._coverage_plan is None or not plan.same_geometry(
+            self._coverage_plan
+        ):
+            mask = coverage_mask(self.stations, plan)
+            self._coverage_indices = [
+                np.flatnonzero(mask[row]) for row in range(len(self.stations))
+            ]
+        self._coverage_members = [
+            tuple(plan.regions[i] for i in indices)
+            for indices in self._coverage_indices
+        ]
+        self._coverage_plan = plan
+
+    def _install_delta(
+        self, plan: SheddingPlan, delta: PlanDelta
+    ) -> dict[int, RegionSubset]:
+        """Delta install: re-broadcast only stations seeing a change."""
+        self._installed_epoch = plan.epoch
+        changed = np.zeros(len(plan.regions), dtype=bool)
+        changed[[index for index, *_ in delta.changes]] = True
+        delivered: dict[int, RegionSubset] = {}
+        for station, indices, members in zip(
+            self.stations, self._coverage_indices, self._coverage_members
+        ):
+            station_id = station.station_id
+            changed_count = int(changed[indices].sum()) if len(indices) else 0
+            if changed_count == 0:
+                # Content identical to the new version: current without
+                # spending any airtime.
+                self._station_versions[station_id] = self.version
+                continue
+            subset = RegionSubset(
+                station_id=station_id,
+                regions=members,
+                version=self.version,
+            )
+            self.total_broadcast_bytes += changed_count * BYTES_PER_REGION
+            self.total_broadcasts += 1
+            self._subsets[station_id] = subset
+            self._station_versions[station_id] = self.version
+            delivered[station_id] = subset
         return delivered
 
     def deliver_pending(self, t: float) -> int:
@@ -170,6 +248,9 @@ class BaseStationNetwork:
             # An old delayed broadcast must not clobber a newer install.
             if current is None or subset.version > current.version:
                 self._subsets[station_id] = subset
+                self._station_versions[station_id] = max(
+                    subset.version, self._station_versions.get(station_id, 0)
+                )
                 installed += 1
         return installed
 
@@ -186,13 +267,16 @@ class BaseStationNetwork:
             return 0.0, 0.0
         ages, stale = [], 0
         for station in self.stations:
-            subset = self._subsets.get(station.station_id)
-            if subset is None:
+            # The *content* version the station serves: a delta install
+            # that skipped the station left its subset object untouched
+            # but its content is the newer version's.
+            version = self._station_versions.get(station.station_id)
+            if version is None:
                 ages.append(t)
                 stale += 1
                 continue
-            ages.append(t - self._version_times[subset.version])
-            if subset.version != self.version:
+            ages.append(t - self._version_times[version])
+            if version != self.version:
                 stale += 1
         return float(np.mean(ages)), stale / len(self.stations)
 

@@ -128,6 +128,7 @@ class LiraSystem:
         policy: str = "lira",
         policy_seed: int = 0,
         engine: str = "vector",
+        incremental: bool = False,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}")
@@ -147,8 +148,13 @@ class LiraSystem:
             queue_capacity=queue_capacity,
             batch_ingest=engine == "vector",
         )
+        self.incremental = incremental
         self.shedder = LiraLoadShedder(
-            self.config, reduction, queue_capacity=queue_capacity, engine=engine
+            self.config,
+            reduction,
+            queue_capacity=queue_capacity,
+            engine=engine,
+            incremental=incremental,
         )
         if adaptive_throttle:
             self.shedder.use_adaptive_throttle()
@@ -170,6 +176,7 @@ class LiraSystem:
         self.history = TrajectoryStore(n_nodes)
         self.receive_substeps = max(1, receive_substeps)
         self._plan_installed = False
+        self._last_installed_plan: SheddingPlan | None = None
         self._trivial_plan_cache: SheddingPlan | None = None
         self._policy_rng = np.random.default_rng(policy_seed)
         self.current_time = 0.0
@@ -228,8 +235,28 @@ class LiraSystem:
                     self.server.queries,
                 )
                 plan = self.shedder.adapt(grid)
-            self.network.install_plan(plan, t=self.current_time)
+            self._install(plan)
             self._plan_installed = True
+
+    def _install(self, plan: SheddingPlan) -> None:
+        """Broadcast a new plan, delta-encoded when nothing forbids it.
+
+        In incremental mode over a fault-free downlink, a plan whose
+        content is unchanged (the shedder returned the same object) is
+        not re-broadcast at all, and a same-geometry successor ships as
+        a per-region delta.  Faulty downlinks always get the full push:
+        the periodic re-broadcast is what lets stations recover from
+        lost plan broadcasts.
+        """
+        if self.incremental and self.network.downlink is None:
+            previous = self._last_installed_plan
+            if previous is plan:
+                return
+            delta = previous.diff(plan) if previous is not None else None
+            self.network.install_plan(plan, t=self.current_time, delta=delta)
+        else:
+            self.network.install_plan(plan, t=self.current_time)
+        self._last_installed_plan = plan
 
     def _trivial_plan(self) -> SheddingPlan:
         """One region covering the bounds at Δ⊢: no source throttling.

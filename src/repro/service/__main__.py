@@ -59,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--slowdown-factor", type=float, default=0.3)
     parser.add_argument("--slowdown-duration", type=float, default=0.0)
     parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable incremental adaptation (full recompute + full push)",
+    )
     parser.add_argument("--log-level", default="WARNING")
     return parser
 
@@ -84,6 +89,7 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         slowdown_factor=args.slowdown_factor,
         slowdown_duration=args.slowdown_duration,
         fault_seed=args.fault_seed,
+        incremental=not args.no_incremental,
     )
 
 

@@ -48,7 +48,7 @@ import numpy as np
 from repro import sanitize, timing
 from repro.core import LiraConfig, LiraLoadShedder, StatisticsGrid
 from repro.core.greedy import RegionStats
-from repro.core.plan import SheddingPlan, clamp_thresholds
+from repro.core.plan import PlanDelta, SheddingPlan, clamp_thresholds
 from repro.core.reduction import AnalyticReduction, ReductionFunction
 from repro.faults import FaultInjector, FaultSpec
 from repro.geo import Rect
@@ -101,6 +101,9 @@ class ServiceConfig:
     slowdown_factor: float = 0.3
     slowdown_duration: float = 0.0
     fault_seed: int = 0
+    #: Cross-round incremental adaptation (bit-identical plans; enables
+    #: delta installs/broadcasts and skipped pushes of unchanged plans).
+    incremental: bool = True
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -159,6 +162,7 @@ class ServiceConfig:
             utilization_target=self.utilization_target,
             throttle_smoothing=self.throttle_smoothing,
             faults=self.faults(),
+            incremental=self.incremental,
             clock=clock,
         )
 
@@ -194,6 +198,10 @@ class _Subscriber:
 
     writer: asyncio.StreamWriter
     station_id: int | None = None
+    #: Epoch of the last full-channel plan this subscriber received —
+    #: a delta frame is only sent to subscribers sitting at its base
+    #: epoch; everyone else gets a full-plan resync.
+    epoch: int | None = None
 
 
 @dataclass
@@ -206,6 +214,13 @@ class ServiceCounters:
     acks_deferred: int = 0
     plans_computed: int = 0
     plans_pushed: int = 0
+    #: Of ``plans_pushed``, how many went out as compact delta frames.
+    delta_plans_pushed: int = 0
+    #: Pushes skipped because the subscriber's content was unchanged.
+    plan_pushes_skipped: int = 0
+    #: Plan/delta frame encodings (≤ once per kind per installed plan,
+    #: regardless of subscriber count).
+    plan_frames_encoded: int = 0
     protocol_errors: int = 0
 
 
@@ -235,6 +250,7 @@ class LiraService:
         utilization_target: float | None = 0.8,
         throttle_smoothing: float | None = 0.5,
         faults: FaultInjector | None = None,
+        incremental: bool = True,
         clock: timing.Clock = timing.monotonic,
     ) -> None:
         if policy not in POLICIES:
@@ -245,6 +261,7 @@ class LiraService:
         self.policy = policy
         self.clock = clock
         self.faults = faults
+        self.incremental = incremental
         self.adapt_period = adapt_period
         self.pump_period = pump_period
         self.server = MobileCQServer(
@@ -256,7 +273,11 @@ class LiraService:
             batch_ingest=True,
         )
         self.shedder = LiraLoadShedder(
-            self.config, reduction, queue_capacity=queue_capacity, engine="vector"
+            self.config,
+            reduction,
+            queue_capacity=queue_capacity,
+            engine="vector",
+            incremental=incremental,
         )
         self.shedder.use_adaptive_throttle()
         self.shedder.throtloop.utilization_target = utilization_target
@@ -268,6 +289,15 @@ class LiraService:
         self.plan: SheddingPlan | None = None
         self.plan_generated_t = 0.0
         self._trivial_plan_cache: SheddingPlan | None = None
+        # Delta-broadcast state of the last install: the delta that
+        # carried the previous plan to the current one (None = full
+        # install), which stations actually saw new content (None =
+        # all), and per-install encoded frame cache keyed by the
+        # network version the frame was built for.
+        self._last_delta: PlanDelta | None = None
+        self._changed_stations: frozenset[int] | None = None
+        self._plan_dirty = False
+        self._frame_cache: dict[str, tuple[int, bytes]] = {}
         # FIFO of deferred acks: marks are monotone in append order
         # because enqueueing happens inline on the (single) event loop.
         self._pending: deque[_PendingAck] = deque()
@@ -349,7 +379,26 @@ class LiraService:
                 plan = self._lira_plan(now)
             if plan is None:
                 plan = self._trivial_plan()
-            self.network.install_plan(plan, t=now)
+            previous = self.plan
+            delta: PlanDelta | None = None
+            if self.incremental and previous is not None:
+                if previous is plan:
+                    # Unchanged content (the shedder returned the same
+                    # object): the network and every subscriber already
+                    # hold it — no install, nothing to push.
+                    self.counters.plans_computed += 1
+                    self._plan_dirty = False
+                    return plan
+                delta = previous.diff(plan)
+            delivered = self.network.install_plan(plan, t=now, delta=delta)
+            self._last_delta = delta
+            # A delta install re-delivers only stations whose subset
+            # changed; a full install re-delivers everyone (None =
+            # no skipping).
+            self._changed_stations = (
+                frozenset(delivered) if delta is not None else None
+            )
+            self._plan_dirty = True
             self.plan = plan
             self.plan_generated_t = now
             self.counters.plans_computed += 1
@@ -415,6 +464,11 @@ class LiraService:
             "acks_sent": self.counters.acks_sent,
             "plans_computed": self.counters.plans_computed,
             "plans_pushed": self.counters.plans_pushed,
+            "delta_plans_pushed": self.counters.delta_plans_pushed,
+            "plan_pushes_skipped": self.counters.plan_pushes_skipped,
+            "plan_frames_encoded": self.counters.plan_frames_encoded,
+            "plan_epoch": self.plan.epoch if self.plan is not None else 0,
+            "plan_broadcast_bytes": self.network.total_broadcast_bytes,
             "subscribers": len(self._subscribers),
             "service_rate": self.server.service_rate,
         }
@@ -423,20 +477,52 @@ class LiraService:
     # Plan push
     # ------------------------------------------------------------------
 
-    def _plan_frame(self, subscriber: _Subscriber) -> bytes | None:
-        """Encode the current plan for one subscriber (None = nothing yet)."""
-        if self.plan is None:
-            return None
-        meta = {
+    def _frame_meta(self) -> dict:
+        return {
             "version": self.network.version,
             "generated_t": self.plan_generated_t,
             "z": self.shedder.current_z,
             "policy": self.policy,
         }
+
+    def _full_plan_frame(self) -> bytes:
+        """The full-plan broadcast frame, encoded once per installed plan.
+
+        The cache is keyed by the network version the frame was built
+        for — every install bumps it — so a fleet of N full-channel
+        subscribers costs one ``SheddingPlan.to_dict`` serialization per
+        adaptation, not N.
+        """
+        cached = self._frame_cache.get("plan")
+        if cached is not None and cached[0] == self.network.version:
+            return cached[1]
+        meta = self._frame_meta()
+        meta["plan"] = self.plan.to_dict()
+        payload = encode_frame("plan", meta)
+        self._frame_cache["plan"] = (self.network.version, payload)
+        self.counters.plan_frames_encoded += 1
+        return payload
+
+    def _delta_plan_frame(self, delta: PlanDelta) -> bytes:
+        """The delta broadcast frame, encoded once per installed plan."""
+        cached = self._frame_cache.get("plan-delta")
+        if cached is not None and cached[0] == self.network.version:
+            return cached[1]
+        meta = self._frame_meta()
+        meta["delta"] = delta.to_dict()
+        payload = encode_frame("plan-delta", meta)
+        self._frame_cache["plan-delta"] = (self.network.version, payload)
+        self.counters.plan_frames_encoded += 1
+        return payload
+
+    def _plan_frame(self, subscriber: _Subscriber) -> bytes | None:
+        """Encode the current plan for one subscriber (None = nothing yet)."""
+        if self.plan is None:
+            return None
         if subscriber.station_id is None:
-            meta["plan"] = self.plan.to_dict()
-            return encode_frame("plan", meta)
+            return self._full_plan_frame()
         subset = self.network.subset_or_none(subscriber.station_id)
+        meta = self._frame_meta()
         meta["station_id"] = subscriber.station_id
         meta["default_delta"] = self.config.delta_min
         if subset is None or not subset.regions:
@@ -449,18 +535,45 @@ class LiraService:
         return encode_frame("plan-subset", meta, {"rects": rects, "deltas": deltas})
 
     def _push_plan(self) -> None:
-        """Send the current plan to every live subscriber."""
+        """Send the newest plan content to every live subscriber.
+
+        Full-channel subscribers sitting at the delta's base epoch get
+        the compact ``plan-delta`` frame; everyone else (fresh, lapsed,
+        or after a geometry change) gets a full-plan resync.  Station
+        subscribers whose subset the delta proved unchanged are skipped
+        outright.  An adaptation that produced the identical plan object
+        pushes nothing at all.
+        """
         if self.plan is None or not self._subscribers:
             return
+        if not self._plan_dirty:
+            self.counters.plan_pushes_skipped += len(self._subscribers)
+            return
+        delta = self._last_delta
         live: list[_Subscriber] = []
         for subscriber in self._subscribers:
             if subscriber.writer.is_closing():
                 continue
-            payload = self._plan_frame(subscriber)
-            if payload is not None:
-                subscriber.writer.write(payload)
-                self.counters.plans_pushed += 1
             live.append(subscriber)
+            if subscriber.station_id is not None:
+                if (
+                    self._changed_stations is not None
+                    and subscriber.station_id not in self._changed_stations
+                ):
+                    self.counters.plan_pushes_skipped += 1
+                    continue
+                payload = self._plan_frame(subscriber)
+                if payload is not None:
+                    subscriber.writer.write(payload)
+                    self.counters.plans_pushed += 1
+                continue
+            if delta is not None and subscriber.epoch == delta.base_epoch:
+                subscriber.writer.write(self._delta_plan_frame(delta))
+                self.counters.delta_plans_pushed += 1
+            else:
+                subscriber.writer.write(self._full_plan_frame())
+            subscriber.epoch = self.plan.epoch
+            self.counters.plans_pushed += 1
         self._subscribers = live
 
     # ------------------------------------------------------------------
@@ -547,6 +660,8 @@ class LiraService:
             payload = self._plan_frame(subscriber)
             if payload is not None:
                 writer.write(payload)
+                if self.plan is not None:
+                    subscriber.epoch = self.plan.epoch
                 self.counters.plans_pushed += 1
             return
         if frame.kind == "stats":
